@@ -1,0 +1,80 @@
+"""T1 — Reliable broadcast: correctness and O(n²) message complexity.
+
+Paper claim: Bracha's broadcast uses n INIT + n² ECHO + n² READY
+messages and never violates consistency/totality, for t < n/3 faults.
+Regenerates: message count vs n, fitted exponent, and a fault matrix.
+"""
+
+from conftest import run_once
+
+from repro import run_broadcast
+from repro.analysis.stats import fit_power_law
+from repro.analysis.tables import format_table
+
+
+def test_t1_broadcast_scaling(benchmark, table_sink):
+    sizes = [4, 7, 10, 13, 16, 22, 31, 40]
+
+    def experiment():
+        rows = []
+        for n in sizes:
+            report = run_broadcast(n=n, sender=0, value="v", seed=n)
+            predicted = n + 2 * n * n
+            rows.append([n, report["messages"], predicted, report["steps"]])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    ns = [row[0] for row in rows]
+    messages = [row[1] for row in rows]
+    exponent, _c = fit_power_law(ns, messages)
+    table_sink(
+        "t1_broadcast_scaling",
+        format_table(
+            ["n", "messages", "n+2n^2 (model)", "deliveries"],
+            rows,
+            title=(
+                "T1a. Reliable broadcast cost vs system size "
+                f"(fitted exponent {exponent:.3f}, model 2)"
+            ),
+        ),
+    )
+    assert all(row[1] == row[2] for row in rows), "cost must match the model exactly"
+    assert 1.9 < exponent < 2.1
+
+
+def test_t1_broadcast_fault_matrix(benchmark, table_sink):
+    trials = 10
+
+    def experiment():
+        rows = []
+        for n, mode in [(4, "honest"), (4, "equivocate"), (7, "honest"),
+                        (7, "equivocate"), (7, "silent"), (10, "equivocate")]:
+            accepted_one = accepted_none = violations = 0
+            for seed in range(trials):
+                kwargs = {"n": n, "sender": 0, "seed": seed * 31 + n}
+                if mode == "equivocate":
+                    kwargs["equivocate"] = ("A", "B")
+                if mode == "silent":
+                    kwargs["silent"] = [n - 1, n - 2][: (n - 1) // 3]
+                report = run_broadcast(check=False, **kwargs)
+                violations += len(report["violations"])
+                if report["accepted_values"]:
+                    accepted_one += 1
+                else:
+                    accepted_none += 1
+            rows.append([n, mode, trials, accepted_one, accepted_none, violations])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table_sink(
+        "t1_broadcast_faults",
+        format_table(
+            ["n", "sender/faults", "trials", "delivered", "no delivery", "violations"],
+            rows,
+            title="T1b. Broadcast outcomes under faults "
+                  "(equivocation may abort delivery, never splits it)",
+        ),
+    )
+    assert sum(row[5] for row in rows) == 0, "no consistency/totality violations"
+    honest = [row for row in rows if row[1] == "honest"]
+    assert all(row[3] == trials for row in honest), "honest senders always deliver"

@@ -1,0 +1,37 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table or figure of the evaluation plan
+(DESIGN.md §3).  The pattern:
+
+* the experiment body runs exactly once through
+  ``benchmark.pedantic(fn, iterations=1, rounds=1)`` so pytest-benchmark
+  reports its wall time without re-running multi-minute sweeps;
+* the resulting rows are printed as a paper-style table *and* written to
+  ``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def table_sink():
+    """Callable(name, text): print a table and persist it under out/."""
+
+    def sink(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return sink
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""A gallery of adversaries, all losing.
+
+Runs Bracha's protocol at maximum resilience against every fault
+behavior and adversarial scheduler in the library, one combination per
+row.  The point of the table is its rightmost column: agreement and
+validity hold in every single row — the adversary can only buy delay.
+
+    python examples/byzantine_gallery.py [seed]
+"""
+
+import sys
+
+from repro import run_consensus
+from repro.adversary import (
+    CoinRushScheduler,
+    DelayVictimScheduler,
+    SplitBrainScheduler,
+)
+from repro.core.coin import DealerCoin
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    n = 7  # t = 2: inject two faults at will
+
+    gallery = [
+        ("none", {}, None),
+        ("silent ×2", {5: "silent", 6: "silent"}, None),
+        ("crash mid-run", {6: {"kind": "crash", "crash_after": 40}}, None),
+        ("two-faced ×2", {5: "two_faced", 6: "two_faced"}, None),
+        ("fuzzer (p=1.0)", {6: {"kind": "fuzzer", "mutate_p": 1.0, "fanout": 4}}, None),
+        ("silent + victim-starve", {6: "silent"},
+         lambda coin: DelayVictimScheduler([0], holdback=150)),
+        ("two-faced + split-brain", {6: "two_faced"},
+         lambda coin: SplitBrainScheduler([0, 1, 2], holdback=150)),
+        ("two-faced + coin-rush", {6: "two_faced"},
+         lambda coin: CoinRushScheduler(coin, holdback=150)),
+    ]
+
+    print(f"=== n={n}, t=2, split inputs, seed {seed} ===\n")
+    print(f"{'adversary':<26} {'decision':>8} {'rounds':>6} {'steps':>8} "
+          f"{'verdict':>22}")
+    for label, faults, scheduler_factory in gallery:
+        coin = DealerCoin(n, 2, seed=seed)
+        scheduler = scheduler_factory(coin) if scheduler_factory else None
+        result = run_consensus(
+            n=n,
+            proposals=[0, 1, 0, 1, 0, 1, 0],
+            coin=coin,
+            faults=faults,
+            scheduler=scheduler,
+            seed=seed,
+            max_steps=6_000_000,
+        )
+        decision = result.decided_values.pop()
+        print(f"{label:<26} {decision:>8} {result.decision_round():>6} "
+              f"{result.steps:>8} {'agreement + validity ok':>22}")
+
+    print("\nEvery row decided one valid bit. The checked harness raised no")
+    print("violation — rerun with any seed; the guarantee is unconditional")
+    print("for t < n/3.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Grid experiments with the sweep API.
+
+Declares a grid over system size, coin scheme, and fault load, runs a
+seeded batch of safety-checked executions per cell, and prints the
+aggregate tables — the workflow for anyone using this library to study
+a configuration space rather than a single run.
+
+    python examples/parameter_sweep.py [trials]
+"""
+
+import sys
+
+from repro.analysis.sweeps import Sweep
+
+
+def main() -> None:
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+
+    print("=== Sweep 1: system size × coin (split inputs) ===\n")
+    sweep = Sweep(trials=trials, seed=2024)
+    sweep.add("n", [4, 7, 10])
+    sweep.add("coin", ["local", "dealer"])
+    grid = sweep.run()
+    print(grid.table(metric="rounds"))
+    print()
+    print(grid.table(metric="messages"))
+    best = grid.best("messages")
+    print(f"\ncheapest cell: {best.label} "
+          f"({best.metric('messages').mean:.0f} messages on average)\n")
+
+    print("=== Sweep 2: fault load at n=7 (t=2), dealer coin ===\n")
+    fault_grid = (
+        Sweep(trials=trials, seed=7, base={"n": 7, "coin": "dealer"})
+        .add("faults", [
+            {},
+            {6: "silent"},
+            {5: "silent", 6: "silent"},
+            {5: "two_faced", 6: "two_faced"},
+        ])
+        .run()
+    )
+    # The faults column renders as dicts; summarize by hand for brevity.
+    for cell in fault_grid.cells:
+        kinds = sorted(
+            spec if isinstance(spec, str) else spec["kind"]
+            for spec in cell.label["faults"].values()
+        )
+        rounds = cell.metric("rounds")
+        steps = cell.metric("steps")
+        print(f"  faults={kinds or ['none']!s:<28} "
+              f"rounds {rounds.mean:.2f}  steps {steps.mean:,.0f}")
+
+    print("\nEvery cell above ran through the checked harness: zero safety")
+    print("violations across the whole grid, or this script would have raised.")
+
+
+if __name__ == "__main__":
+    main()

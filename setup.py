@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml`` (PEP 621); this file only
+enables legacy editable installs (``pip install -e . --no-use-pep517``)
+on toolchains that cannot build PEP 660 editable wheels offline.
+"""
+
+from setuptools import setup
+
+setup()

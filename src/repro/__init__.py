@@ -1,0 +1,72 @@
+"""repro — Bracha's asynchronous Byzantine consensus (PODC 1984), reproduced.
+
+A production-quality Python reproduction of Gabriel Bracha's landmark
+⌊(n−1)/3⌋-resilient randomized consensus protocol and everything it
+stands on: reliable broadcast, message validation, local and common
+coins (including a real dealer-shared Shamir coin), a deterministic
+discrete-event network simulator with adversarial schedulers, Byzantine
+fault behaviors, baseline protocols (Ben-Or 1983, Rabin-style common
+coin, an MMR-2014-style ABA), and applications (asynchronous common
+subset, replicated log).
+
+Quickstart::
+
+    from repro import run_consensus
+
+    result = run_consensus(n=4, proposals=[0, 1, 1, 0], seed=7)
+    print(result.decided_values)   # {0} or {1} — but always a singleton
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+reproduction of every claim in the paper.
+"""
+
+from .analysis.experiments import (
+    repeat_consensus,
+    run_broadcast,
+    run_consensus,
+    setup_consensus,
+)
+from .core.broadcast import BroadcastLayer, RbcDelivery, RbcMessage
+from .core.coin import DealerCoin, LocalCoin, ShareCoinProvider
+from .core.consensus import BrachaConsensus, DecisionEvent
+from .errors import (
+    AgreementViolation,
+    ConfigError,
+    LivenessFailure,
+    ReproError,
+    SafetyViolation,
+    ValidityViolation,
+)
+from .params import ProtocolParams, for_system, max_faults
+from .sim.runner import Simulation
+from .types import RunResult, StepValue
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AgreementViolation",
+    "BrachaConsensus",
+    "BroadcastLayer",
+    "ConfigError",
+    "DealerCoin",
+    "DecisionEvent",
+    "LivenessFailure",
+    "LocalCoin",
+    "ProtocolParams",
+    "RbcDelivery",
+    "RbcMessage",
+    "ReproError",
+    "RunResult",
+    "SafetyViolation",
+    "ShareCoinProvider",
+    "Simulation",
+    "StepValue",
+    "ValidityViolation",
+    "__version__",
+    "for_system",
+    "max_faults",
+    "repeat_consensus",
+    "run_broadcast",
+    "run_consensus",
+    "setup_consensus",
+]

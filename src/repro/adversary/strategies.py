@@ -1,0 +1,208 @@
+"""Adversarial network schedulers.
+
+The asynchronous adversary's one constraint is *eventual delivery*: it
+may reorder and delay arbitrarily, but every message between correct
+processes arrives in the end.  All strategies here honor that constraint
+structurally — each holds disfavored messages back for at most
+``holdback`` delivery steps, after which they become eligible again (and
+the simulation runner additionally falls back to the oldest pending
+message whenever a scheduler declines to choose).
+
+Strategies:
+
+* :class:`DelayVictimScheduler` — starves a set of victim processes,
+  delivering everyone else's traffic first.  Models the "slow replica"
+  worst case and stresses the decide-amplification path.
+* :class:`SplitBrainScheduler` — delivers within-group traffic eagerly
+  and delays cross-group traffic, simulating a near-partition.  Combined
+  with a two-faced Byzantine process this is the classic attack on
+  unvalidated agreement protocols.
+* :class:`CoinRushScheduler` — the strong adversary of randomized
+  consensus: it observes the common coin as soon as any process releases
+  it (allowed by unpredictability) and then delays messages that would
+  help processes converge on the coin's value.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ..core.coin import DealerCoin
+from ..sim.scheduler import Scheduler
+from ..types import Envelope, ProcessId
+
+
+class _HoldbackScheduler(Scheduler):
+    """Shared machinery: classify each envelope as favored or delayed.
+
+    Delayed envelopes become eligible after ``holdback`` further
+    deliveries.  Subclasses implement :meth:`disfavored`.
+    """
+
+    def __init__(self, holdback: int = 200):
+        super().__init__()
+        if holdback < 1:
+            raise ValueError("holdback must be at least 1")
+        self.holdback = holdback
+        self._birth: dict[int, int] = {}
+        self._tick = 0
+
+    def on_send(self, env: Envelope) -> None:
+        self._birth[env.uid] = self._tick
+
+    def disfavored(self, env: Envelope) -> bool:
+        raise NotImplementedError
+
+    def _eligible(self, env: Envelope) -> bool:
+        if not self.disfavored(env):
+            return True
+        return self._tick - self._birth.get(env.uid, self._tick) >= self.holdback
+
+    def choose(self) -> Optional[Tuple[Envelope, float]]:
+        self._tick += 1
+        eligible = self.pending.filter(self._eligible)
+        if not eligible:
+            # Nothing favored: release the oldest disfavored message so
+            # the execution stays admissible.
+            oldest = self.pending.peek_oldest()
+            if oldest is None:
+                return None
+            self._birth.pop(oldest.uid, None)
+            return oldest, self._advance()
+        env = eligible[self.rng.randrange(len(eligible))]
+        self._birth.pop(env.uid, None)
+        return env, self._advance()
+
+
+class DelayVictimScheduler(_HoldbackScheduler):
+    """Starve messages addressed to (or sent by) the victim set."""
+
+    def __init__(
+        self,
+        victims: Iterable[ProcessId],
+        holdback: int = 200,
+        starve_outbound: bool = False,
+    ):
+        super().__init__(holdback)
+        self.victims = frozenset(victims)
+        self.starve_outbound = starve_outbound
+
+    def disfavored(self, env: Envelope) -> bool:
+        if env.dest in self.victims:
+            return True
+        return self.starve_outbound and env.source in self.victims
+
+
+class SplitBrainScheduler(_HoldbackScheduler):
+    """Deliver within-group traffic first; delay cross-group traffic."""
+
+    def __init__(self, group_a: Iterable[ProcessId], holdback: int = 200):
+        super().__init__(holdback)
+        self.group_a = frozenset(group_a)
+
+    def disfavored(self, env: Envelope) -> bool:
+        return (env.source in self.group_a) != (env.dest in self.group_a)
+
+
+class PartitionScheduler(Scheduler):
+    """A hard partition that heals, modelling a netsplit-then-merge.
+
+    While the partition is up, *no* cross-partition message is delivered
+    (they queue).  The partition heals when either (a) ``heal_after``
+    deliveries have happened, or (b) no intra-partition message remains
+    deliverable — the moment both sides have gone quiet, which is when a
+    real operator would also observe the stall.  Healing early on
+    exhaustion keeps every execution admissible (nothing is delayed past
+    the end of the run) without the runner's oldest-first fallback
+    punching holes in the partition.
+
+    ``heal_step`` records the delivery count at which the merge
+    happened, so tests can assert that no decision predates it.
+    """
+
+    def __init__(self, group_a: Iterable[ProcessId], heal_after: int = 1000):
+        super().__init__()
+        if heal_after < 0:
+            raise ValueError("heal_after must be non-negative")
+        self.group_a = frozenset(group_a)
+        self.heal_after = heal_after
+        self.heal_step: Optional[int] = None
+        self._delivered = 0
+
+    @property
+    def healed(self) -> bool:
+        return self.heal_step is not None
+
+    def _crosses(self, env: Envelope) -> bool:
+        return (env.source in self.group_a) != (env.dest in self.group_a)
+
+    def _maybe_heal(self) -> None:
+        if self.heal_step is None:
+            self.heal_step = self._delivered
+
+    def choose(self) -> Optional[Tuple[Envelope, float]]:
+        if not self.healed and self._delivered >= self.heal_after:
+            self._maybe_heal()
+        if not self.healed:
+            intra = self.pending.filter(lambda e: not self._crosses(e))
+            if intra:
+                self._delivered += 1
+                env = intra[self.rng.randrange(len(intra))]
+                return env, self._advance()
+            if self.pending:
+                self._maybe_heal()  # both sides quiet: merge
+        items = list(self.pending)
+        if not items:
+            return None
+        self._delivered += 1
+        env = items[self.rng.randrange(len(items))]
+        return env, self._advance()
+
+
+class CoinRushScheduler(_HoldbackScheduler):
+    """Delay messages that support convergence on the released coin value.
+
+    The adversary may observe a common coin the moment any process
+    releases it (the unpredictability property promises nothing after
+    that).  This scheduler peeks at the :class:`DealerCoin` and holds
+    back consensus step messages whose bit equals the released coin for
+    their round — the messages a correct process would need to assemble
+    a quorum around the coin value.  Against a protocol without
+    validation this class of adversary can stall progress indefinitely;
+    against Bracha's protocol it can only stretch latency, which
+    ``benchmarks/bench_f2_adversary.py`` quantifies.
+    """
+
+    def __init__(self, coin: DealerCoin, holdback: int = 200):
+        super().__init__(holdback)
+        self.coin = coin
+
+    def disfavored(self, env: Envelope) -> bool:
+        round_bit = _step_message_round_bit(env)
+        if round_bit is None:
+            return False
+        round_, bit = round_bit
+        released = self.coin.peek(round_)
+        return released is not None and bit == released
+
+
+def _step_message_round_bit(env: Envelope) -> Optional[Tuple[int, int]]:
+    """Extract (round, bit) from a consensus step message, if it is one."""
+    from ..core.broadcast import RbcMessage
+    from ..types import StepValue
+
+    payload = env.payload
+    if not (isinstance(payload, tuple) and len(payload) == 2):
+        return None
+    _module, inner = payload
+    if not isinstance(inner, RbcMessage):
+        return None
+    if not isinstance(inner.value, StepValue):
+        return None
+    instance = inner.instance
+    if not (isinstance(instance, tuple) and len(instance) == 4):
+        return None
+    _tag, round_, _step, _origin = instance
+    if not isinstance(round_, int):
+        return None
+    return round_, inner.value.bit

@@ -1,0 +1,119 @@
+"""Small statistics toolkit for experiment aggregation.
+
+Kept dependency-free (no numpy) so the core library stays pure; the
+benchmark layer may still use numpy/scipy for anything heavier.  The two
+non-obvious pieces:
+
+* :func:`summarize` — mean/stddev/min/max/percentiles plus a normal-
+  approximation 95% confidence interval on the mean, which is what the
+  expected-round tables report.
+* :func:`fit_power_law` — least-squares slope in log-log space, used to
+  check the message-complexity exponents (≈ 2 for reliable broadcast,
+  ≈ 3 per consensus round).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Aggregate description of one metric across repeated runs."""
+
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+    ci95_half_width: float
+
+    def ci(self) -> tuple[float, float]:
+        return (self.mean - self.ci95_half_width, self.mean + self.ci95_half_width)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.2f} ±{self.ci95_half_width:.2f} "
+            f"(p50={self.p50:.1f} p90={self.p90:.1f} max={self.maximum:.0f})"
+        )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    frac = rank - low
+    return float(ordered[low] * (1 - frac) + ordered[high] * frac)
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Descriptive statistics for one metric."""
+    if not values:
+        raise ValueError("cannot summarize an empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        variance = 0.0
+    stddev = math.sqrt(variance)
+    half_width = 1.96 * stddev / math.sqrt(n) if n > 1 else 0.0
+    return Summary(
+        count=n,
+        mean=mean,
+        stddev=stddev,
+        minimum=float(min(values)),
+        maximum=float(max(values)),
+        p50=percentile(values, 50),
+        p90=percentile(values, 90),
+        p99=percentile(values, 99),
+        ci95_half_width=half_width,
+    )
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Fit ``y ≈ c · x^k`` by least squares in log-log space.
+
+    Returns ``(k, c)``.  Requires positive data and at least two points.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fit needs positive data")
+    log_x = [math.log(x) for x in xs]
+    log_y = [math.log(y) for y in ys]
+    n = len(xs)
+    mean_x = sum(log_x) / n
+    mean_y = sum(log_y) / n
+    sxx = sum((lx - mean_x) ** 2 for lx in log_x)
+    if sxx == 0:
+        raise ValueError("xs are all equal; slope undefined")
+    sxy = sum((lx - mean_x) * (ly - mean_y) for lx, ly in zip(log_x, log_y))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    return slope, math.exp(intercept)
+
+
+def histogram(values: Sequence[int]) -> dict[int, int]:
+    """Exact integer histogram (used for round-count distributions)."""
+    counts: dict[int, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    return dict(sorted(counts.items()))

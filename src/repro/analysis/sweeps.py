@@ -1,0 +1,191 @@
+"""Parameter sweeps: grid experiments as a library feature.
+
+The benchmark suite runs ad-hoc loops; this module packages the same
+pattern for downstream users: declare a grid of configurations, run
+``trials`` seeded executions per cell, and get back aggregated metrics
+plus a ready-to-print table.
+
+    from repro.analysis.sweeps import Sweep
+
+    sweep = Sweep(trials=10, seed=42)
+    sweep.add("n", [4, 7, 10])
+    sweep.add("coin", ["local", "dealer"])
+    grid = sweep.run()
+    print(grid.table(metric="rounds"))
+
+Every run goes through the checked harness, so a sweep cannot silently
+aggregate unsafe executions; cells whose runs violate safety (possible
+only when the caller opts into ``check=False`` configurations) carry
+their violation counts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..errors import ConfigError, ReproError
+from ..sim.rng import derive_seed
+from ..types import RunResult
+from .experiments import run_consensus
+from .stats import Summary, summarize
+from .tables import format_table
+
+#: Metrics extractable from a RunResult, by name.
+METRICS = {
+    "rounds": lambda r: float(r.decision_round()),
+    "total_rounds": lambda r: float(r.rounds),
+    "messages": lambda r: float(r.messages_sent),
+    "steps": lambda r: float(r.steps),
+    "virtual_time": lambda r: float(r.virtual_time),
+    "coin_flips": lambda r: float(r.meta.get("coin_flips", 0)),
+}
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid point: the configuration and its aggregated results."""
+
+    config: Tuple[Tuple[str, Any], ...]
+    results: Tuple[RunResult, ...]
+    failures: int  # runs that raised (only with tolerate_failures=True)
+
+    def metric(self, name: str) -> Summary:
+        if name not in METRICS:
+            raise ConfigError(
+                f"unknown metric {name!r}; choose from {sorted(METRICS)}"
+            )
+        if not self.results:
+            raise ConfigError("cell has no successful runs to summarize")
+        return summarize([METRICS[name](r) for r in self.results])
+
+    def violations(self) -> int:
+        return sum(len(r.violations) for r in self.results)
+
+    @property
+    def label(self) -> Dict[str, Any]:
+        return dict(self.config)
+
+
+@dataclass
+class SweepResult:
+    """All cells of a finished sweep."""
+
+    dimensions: Tuple[str, ...]
+    cells: List[Cell] = field(default_factory=list)
+
+    def table(self, metric: str = "rounds", markdown: bool = False) -> str:
+        """Render one metric across the grid as a table."""
+        headers = list(self.dimensions) + [
+            "trials", "failures", f"{metric} mean", "±95%", "p90", "max",
+        ]
+        rows = []
+        for cell in self.cells:
+            label = cell.label
+            if cell.results:
+                summary = cell.metric(metric)
+                stats_cols = [summary.mean, summary.ci95_half_width,
+                              summary.p90, summary.maximum]
+            else:
+                stats_cols = ["-", "-", "-", "-"]
+            rows.append(
+                [label[d] for d in self.dimensions]
+                + [len(cell.results), cell.failures] + stats_cols
+            )
+        return format_table(headers, rows, markdown=markdown)
+
+    def best(self, metric: str = "rounds") -> Cell:
+        """The cell with the lowest mean of ``metric``."""
+        candidates = [c for c in self.cells if c.results]
+        if not candidates:
+            raise ConfigError("sweep produced no successful cells")
+        return min(candidates, key=lambda c: c.metric(metric).mean)
+
+    def cell(self, **config: Any) -> Cell:
+        """Look up a cell by (a subset of) its configuration."""
+        for candidate in self.cells:
+            label = candidate.label
+            if all(label.get(k) == v for k, v in config.items()):
+                return candidate
+        raise ConfigError(f"no cell matching {config!r}")
+
+
+class Sweep:
+    """A grid of ``run_consensus`` configurations.
+
+    ``add(name, values)`` declares a swept dimension; any keyword
+    accepted by :func:`repro.analysis.experiments.run_consensus` works
+    (``n``, ``t``, ``coin``, ``proposals``, ``faults``, ``stack``...).
+    Fixed arguments go in ``base``.  Per-cell trial seeds derive from
+    the sweep seed and the configuration, so adding a dimension does not
+    reshuffle existing cells.
+    """
+
+    def __init__(
+        self,
+        trials: int = 10,
+        seed: int = 0,
+        base: Mapping[str, Any] | None = None,
+        tolerate_failures: bool = False,
+        max_steps: int = 4_000_000,
+    ):
+        if trials < 1:
+            raise ConfigError("need at least one trial per cell")
+        self.trials = trials
+        self.seed = seed
+        self.base = dict(base or {})
+        self.tolerate_failures = tolerate_failures
+        self.max_steps = max_steps
+        self._dimensions: List[Tuple[str, List[Any]]] = []
+
+    def add(self, name: str, values: Iterable[Any]) -> "Sweep":
+        values = list(values)
+        if not values:
+            raise ConfigError(f"dimension {name!r} has no values")
+        if name in dict(self._dimensions):
+            raise ConfigError(f"dimension {name!r} declared twice")
+        self._dimensions.append((name, values))
+        return self
+
+    def _configs(self) -> Iterable[Tuple[Tuple[str, Any], ...]]:
+        names = [name for name, _values in self._dimensions]
+        for combo in itertools.product(*(values for _n, values in self._dimensions)):
+            yield tuple(zip(names, combo))
+
+    def run(self) -> SweepResult:
+        if not self._dimensions:
+            raise ConfigError("declare at least one dimension before running")
+        result = SweepResult(tuple(name for name, _v in self._dimensions))
+        for config in self._configs():
+            kwargs: Dict[str, Any] = dict(self.base)
+            kwargs.update(dict(config))
+            runs: List[RunResult] = []
+            failures = 0
+            for trial in range(self.trials):
+                trial_seed = derive_seed(self.seed, "sweep", config, trial)
+                try:
+                    runs.append(
+                        run_consensus(
+                            seed=trial_seed, max_steps=self.max_steps, **kwargs
+                        )
+                    )
+                except ReproError:
+                    if not self.tolerate_failures:
+                        raise
+                    failures += 1
+            result.cells.append(Cell(config, tuple(runs), failures))
+        return result
+
+
+def quick_sweep(
+    ns: Sequence[int] = (4, 7),
+    coins: Sequence[str] = ("local", "dealer"),
+    trials: int = 10,
+    seed: int = 0,
+) -> SweepResult:
+    """The most common sweep (n × coin on split inputs), one call."""
+    sweep = Sweep(trials=trials, seed=seed)
+    sweep.add("n", list(ns))
+    sweep.add("coin", list(coins))
+    return sweep.run()

@@ -1,0 +1,27 @@
+"""Applications built on the consensus core.
+
+The paper's protocol decides a single bit; everything a system actually
+wants — agreeing on *payloads*, ordering a *log* — is built on top:
+
+* :mod:`repro.app.acs` — **asynchronous common subset**: all correct
+  processes agree on a set of at least ``n−t`` proposals, by combining
+  ``n`` reliable broadcasts with ``n`` parallel binary agreements (the
+  HoneyBadgerBFT construction, instantiated with Bracha's ABA).
+* :mod:`repro.app.multivalue` — multi-valued consensus: agree on one
+  payload by deterministically selecting from the common subset.
+* :mod:`repro.app.replicated_log` — a replicated log / toy state-machine
+  replication: repeated ACS epochs, each committing a batch of commands
+  in a canonical order.
+"""
+
+from .acs import AcsInstance, AcsOutput
+from .multivalue import MultiValueConsensus
+from .replicated_log import LogEntry, ReplicatedLog
+
+__all__ = [
+    "AcsInstance",
+    "AcsOutput",
+    "LogEntry",
+    "MultiValueConsensus",
+    "ReplicatedLog",
+]

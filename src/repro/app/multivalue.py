@@ -1,0 +1,63 @@
+"""Multi-valued consensus from the common subset.
+
+Binary consensus decides a bit; applications want to agree on a payload.
+The standard asynchronous reduction: agree on a *set* of proposals
+(ACS), then apply any deterministic choice function to the set — every
+correct process holds the same set, hence picks the same payload.
+
+The default choice function picks the payload of the smallest pid in the
+subset; a custom ``chooser`` may implement e.g. hash-based or
+value-ranked selection.  Validity inherited from ACS: the decided
+payload was proposed by a member of the subset, at least ``n−2t`` of
+which are correct processes' proposals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..core.broadcast import BroadcastLayer
+from ..sim.process import Process
+from .acs import AcsInstance, AcsOutput, CoinFactory
+
+Chooser = Callable[[AcsOutput], Any]
+
+
+def choose_min_pid(output: AcsOutput) -> Any:
+    """Default deterministic choice: the smallest proposer's payload."""
+    return output.proposals[0][1]
+
+
+class MultiValueConsensus:
+    """Agree on one arbitrary payload among ``n`` processes.
+
+    One instance per process; ``propose`` starts it, ``decided``/
+    ``decision`` expose the outcome once the underlying ACS completes.
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        rbc: BroadcastLayer,
+        coin_factory: CoinFactory,
+        epoch: int = 0,
+        chooser: Chooser = choose_min_pid,
+    ):
+        self.process = process
+        self.chooser = chooser
+        self.decision: Optional[Any] = None
+        self.decided = False
+        self._acs = AcsInstance(
+            process, rbc, coin_factory, epoch=epoch, on_output=self._on_output
+        )
+
+    def propose(self, payload: Any) -> None:
+        self._acs.propose(payload)
+
+    def _on_output(self, output: AcsOutput) -> None:
+        self.decided = True
+        self.decision = self.chooser(output)
+
+    @property
+    def subset(self) -> Optional[AcsOutput]:
+        return self._acs.output

@@ -1,0 +1,113 @@
+"""A replicated log (toy state-machine replication) over repeated ACS.
+
+Every process holds a queue of locally submitted commands.  The log
+advances in *epochs*: in epoch ``e`` each process proposes a batch from
+its queue, the processes run one ACS instance, and the agreed subset's
+batches are flattened — sorted by (proposer pid, intra-batch index) —
+and appended to the log.  Because every correct process receives the
+same subset, every correct process appends the same entries in the same
+order: the replicated-log safety property.
+
+This is structurally HoneyBadgerBFT's core loop (minus encryption and
+batching heuristics), instantiated with Bracha's binary agreement — the
+"basis of modern async BFT" claim of the reproduction made executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from ..core.broadcast import BroadcastLayer
+from ..sim.process import Process
+from ..types import ProcessId
+from .acs import AcsInstance, AcsOutput, CoinFactory
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One committed command with its provenance."""
+
+    epoch: int
+    proposer: ProcessId
+    index: int  # position within the proposer's batch
+    command: Any
+
+
+class ReplicatedLog:
+    """One replica of the log at one process.
+
+    Args:
+        process: hosting process.
+        rbc: shared broadcast layer.
+        coin_factory_for_epoch: ``(epoch, j) -> CoinScheme`` — independent
+            coins per epoch and per parallel agreement.
+        batch_size: commands proposed per epoch.
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        rbc: BroadcastLayer,
+        coin_factory_for_epoch: Callable[[int, int], Any],
+        batch_size: int = 4,
+    ):
+        self.process = process
+        self.rbc = rbc
+        self.coin_factory_for_epoch = coin_factory_for_epoch
+        self.batch_size = batch_size
+
+        self.queue: List[Any] = []
+        self.log: List[LogEntry] = []
+        self.epoch = 0
+        self._current: Optional[AcsInstance] = None
+        self.max_epochs: Optional[int] = None
+
+    # -- client interface ---------------------------------------------------
+
+    def submit(self, command: Any) -> None:
+        """Enqueue a command for a future epoch (local operation)."""
+        self.queue.append(command)
+
+    def start(self, max_epochs: Optional[int] = None) -> None:
+        """Begin committing epochs (call after the simulation starts)."""
+        self.max_epochs = max_epochs
+        self._begin_epoch()
+
+    # -- epoch machinery -----------------------------------------------------
+
+    def _begin_epoch(self) -> None:
+        if self.max_epochs is not None and self.epoch >= self.max_epochs:
+            self._current = None
+            return
+        epoch = self.epoch
+
+        def coin_factory(j: int):
+            return self.coin_factory_for_epoch(epoch, j)
+
+        self._current = AcsInstance(
+            self.process, self.rbc, coin_factory, epoch=epoch,
+            on_output=self._on_epoch_output,
+        )
+        batch = tuple(self.queue[: self.batch_size])
+        del self.queue[: self.batch_size]
+        self._current.propose(batch)
+
+    def _on_epoch_output(self, output: AcsOutput) -> None:
+        for proposer, batch in output.proposals:
+            if not isinstance(batch, tuple):
+                continue  # a faulty proposer may commit garbage; skip it
+            for index, command in enumerate(batch):
+                self.log.append(LogEntry(output.epoch, proposer, index, command))
+        self.epoch += 1
+        self._begin_epoch()
+
+    # -- queries --------------------------------------------------------------
+
+    def committed_commands(self) -> List[Any]:
+        """The commands in commit order (what the state machine applies)."""
+        return [entry.command for entry in self.log]
+
+    @property
+    def epochs_committed(self) -> int:
+        return self.epoch

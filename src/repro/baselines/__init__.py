@@ -1,0 +1,37 @@
+"""Baseline protocols Bracha's paper is measured against.
+
+* :mod:`repro.baselines.benor` — **Ben-Or (PODC 1983)**, the protocol
+  Bracha improves on.  No broadcast, no validation: plain point-to-point
+  voting with local coins.  Tolerates Byzantine faults only for
+  ``t < n/5``; the validation ablation (T5) demonstrates experimentally
+  what breaks beyond that.
+* :mod:`repro.baselines.bv_broadcast` + :mod:`repro.baselines.mmr14` —
+  an **MMR-2014-style binary agreement** (the ABA inside HoneyBadgerBFT),
+  the modern descendant of Bracha's protocol: binary-value broadcast
+  replaces full reliable broadcast, shaving a factor of ``n`` off the
+  per-round message count, at the price of requiring a common coin.
+* :mod:`repro.baselines.rabin` — **Rabin (FOCS 1983)** as a
+  configuration: Bracha's round structure driven by the dealer-shared
+  common coin, giving constant expected rounds.
+
+All baselines run on the same simulator, coin schemes, and fault
+behaviors as the core protocol, and the comparison harness
+(:mod:`repro.baselines.harness`) applies the same safety checks.
+"""
+
+from .benor import BenOrConsensus
+from .benor_crash import BenOrCrashConsensus
+from .bv_broadcast import BinaryValueBroadcast, BvDeliver
+from .harness import run_protocol
+from .mmr14 import Mmr14Consensus
+from .rabin import rabin_configuration
+
+__all__ = [
+    "BenOrConsensus",
+    "BenOrCrashConsensus",
+    "BinaryValueBroadcast",
+    "BvDeliver",
+    "Mmr14Consensus",
+    "rabin_configuration",
+    "run_protocol",
+]

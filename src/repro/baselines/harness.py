@@ -1,0 +1,79 @@
+"""Uniform runner for cross-protocol comparisons.
+
+Every protocol in the repository (Bracha, Ben-Or, MMR-14) is executed
+through the *same* assembly, fault-injection, and safety-checking code
+(:mod:`repro.analysis.experiments`) — only the stack builder differs.
+Measured differences are therefore attributable to the protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..analysis.experiments import build_consensus_stack, run_consensus
+from ..core.coin import CoinScheme
+from ..errors import ConfigError
+from ..sim.process import Process
+from ..types import RunResult
+from .benor import BenOrConsensus
+from .benor_crash import BenOrCrashConsensus
+from .bv_broadcast import BinaryValueBroadcast
+from .mmr14 import Mmr14Consensus
+
+
+def benor_stack(process: Process, coin_scheme: CoinScheme) -> BenOrConsensus:
+    """Install the Ben-Or stack: bare links + coin, no broadcast layer."""
+    coin_source = coin_scheme.attach(process)
+    consensus = BenOrConsensus(coin_source)
+    process.add_module(consensus)
+    return consensus
+
+
+def benor_crash_stack(process: Process, coin_scheme: CoinScheme) -> BenOrCrashConsensus:
+    """Install the crash-fault Ben-Or stack (t < n/2, benign faults)."""
+    coin_source = coin_scheme.attach(process)
+    consensus = BenOrCrashConsensus(coin_source)
+    process.add_module(consensus)
+    return consensus
+
+
+def mmr14_stack(process: Process, coin_scheme: CoinScheme) -> Mmr14Consensus:
+    """Install the MMR-14 stack: BV-broadcast + common coin + agreement."""
+    bv = BinaryValueBroadcast()
+    process.add_module(bv)
+    coin_source = coin_scheme.attach(process)
+    consensus = Mmr14Consensus(bv, coin_source)
+    process.add_module(consensus)
+    return consensus
+
+
+STACKS = {
+    "bracha": build_consensus_stack,
+    "benor": benor_stack,
+    "benor-crash": benor_crash_stack,
+    "mmr14": mmr14_stack,
+}
+
+#: Default coin per protocol: Bracha and Ben-Or are defined for local
+#: coins; MMR-14's termination argument requires a common coin.
+DEFAULT_COIN = {
+    "bracha": "local",
+    "benor": "local",
+    "benor-crash": "local",
+    "mmr14": "dealer",
+}
+
+
+def run_protocol(protocol: str, n: int, coin: Any = None, **kwargs: Any) -> RunResult:
+    """Run any of the repository's consensus protocols, checked.
+
+    ``protocol`` is ``"bracha"``, ``"benor"``, or ``"mmr14"``; all other
+    arguments are those of :func:`repro.analysis.experiments.run_consensus`.
+    """
+    if protocol not in STACKS:
+        raise ConfigError(
+            f"unknown protocol {protocol!r}; choose from {sorted(STACKS)}"
+        )
+    if coin is None:
+        coin = DEFAULT_COIN[protocol]
+    return run_consensus(n, coin=coin, stack=STACKS[protocol], **kwargs)

@@ -1,0 +1,235 @@
+"""Command-line interface: run protocol experiments without writing code.
+
+Subcommands:
+
+* ``consensus`` — one checked consensus run of any protocol, with faults,
+  coins, and adversarial schedulers.
+* ``broadcast`` — one reliable-broadcast instance (optionally with an
+  equivocating sender).
+* ``attack`` — the scripted Ben-Or disagreement attack across seeds.
+* ``sweep`` — repeated runs of one configuration with aggregate stats.
+
+Examples::
+
+    python -m repro consensus -n 7 --faults 5:two_faced 6:silent --seed 3
+    python -m repro consensus -n 4 --protocol mmr14 --coin dealer
+    python -m repro broadcast -n 7 --equivocate
+    python -m repro attack --trials 20
+    python -m repro sweep -n 4 --trials 25 --coin local
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from .adversary import (
+    DelayVictimScheduler,
+    SplitBrainScheduler,
+    attack_success_rate,
+)
+from .analysis.stats import summarize
+from .analysis.tables import format_table
+from .baselines import run_protocol
+from .errors import ReproError
+from .params import for_system
+from .sim.scheduler import FifoScheduler, RandomDelayScheduler
+from . import run_broadcast
+
+
+def _parse_faults(entries: Optional[Sequence[str]]) -> Dict[int, str]:
+    faults: Dict[int, str] = {}
+    for entry in entries or ():
+        pid_text, _, kind = entry.partition(":")
+        try:
+            pid = int(pid_text)
+        except ValueError:
+            raise SystemExit(f"bad fault spec {entry!r}; use PID:KIND")
+        if not kind:
+            raise SystemExit(f"bad fault spec {entry!r}; use PID:KIND")
+        faults[pid] = kind
+    return faults
+
+
+def _parse_proposals(text: Optional[str], n: int) -> Any:
+    if text is None:
+        return None
+    if text in ("0", "1"):
+        return int(text)
+    bits = [c for c in text if c in "01"]
+    if len(bits) != n:
+        raise SystemExit(f"--proposals needs {n} bits, got {text!r}")
+    return [int(c) for c in bits]
+
+
+def _make_scheduler(name: Optional[str], n: int) -> Any:
+    if name is None or name == "random":
+        return None
+    if name == "fifo":
+        return FifoScheduler()
+    if name == "delay":
+        return RandomDelayScheduler()
+    if name == "victim":
+        return DelayVictimScheduler([0])
+    if name == "split":
+        return SplitBrainScheduler(list(range(n // 2)))
+    raise SystemExit(f"unknown scheduler {name!r}")
+
+
+def cmd_consensus(args: argparse.Namespace) -> int:
+    faults = _parse_faults(args.faults)
+    result = run_protocol(
+        args.protocol,
+        n=args.n,
+        t=args.t,
+        coin=args.coin,
+        proposals=_parse_proposals(args.proposals, args.n),
+        faults=faults,
+        scheduler=_make_scheduler(args.scheduler, args.n),
+        seed=args.seed,
+        max_steps=args.max_steps,
+    )
+    params = for_system(args.n, args.t)
+    print(f"system    : {params.describe()}")
+    print(f"protocol  : {args.protocol} (coin: {args.coin or 'default'})")
+    print(f"faults    : {faults or 'none'}")
+    print(f"decision  : {sorted(result.decided_values)}")
+    print(f"rounds    : {result.rounds} (decided in {result.decision_round()})")
+    print(f"messages  : {result.messages_sent}")
+    print(f"steps     : {result.steps}")
+    for pid, round_ in sorted(result.meta["decision_rounds"].items()):
+        print(f"  p{pid} decided in round {round_}")
+    return 0
+
+
+def cmd_broadcast(args: argparse.Namespace) -> int:
+    report = run_broadcast(
+        n=args.n,
+        sender=args.sender,
+        value=args.value,
+        equivocate=("A", "B") if args.equivocate else None,
+        seed=args.seed,
+    )
+    print(f"messages : {report['messages']}  (model: n+2n² = {args.n + 2 * args.n ** 2})")
+    print(f"accepted : {report['accepted_values'] or '{} (no delivery — legal with a faulty sender)'}")
+    for pid, value in sorted(report["outcomes"].items()):
+        print(f"  p{pid}: {value!r}")
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    wins, reports = attack_success_rate(args.trials, seed=args.seed)
+    rows = []
+    for index, report in enumerate(reports):
+        rows.append([
+            args.seed + index,
+            str(report.coin_bits),
+            " ".join(f"p{p}={'·' if b is None else b}"
+                     for p, b in sorted(report.decisions.items())),
+            report.outcome,
+        ])
+    print(format_table(
+        ["seed", "victim coins", "decisions", "outcome"], rows,
+        title=f"Scripted Ben-Or attack (n=4, t=1): "
+              f"{wins}/{args.trials} agreement violations",
+    ))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.experiments import repeat_consensus
+
+    results = repeat_consensus(
+        args.trials,
+        n=args.n,
+        proposals=_parse_proposals(args.proposals, args.n),
+        coin=args.coin or "local",
+        faults=_parse_faults(args.faults),
+        seed=args.seed,
+        max_steps=args.max_steps,
+    )
+    rounds = summarize([float(r.decision_round()) for r in results])
+    messages = summarize([float(r.messages_sent) for r in results])
+    steps = summarize([float(r.steps) for r in results])
+    print(format_table(
+        ["metric", "mean", "±95%", "p50", "p90", "max"],
+        [
+            ["decision round", rounds.mean, rounds.ci95_half_width,
+             rounds.p50, rounds.p90, rounds.maximum],
+            ["messages", messages.mean, messages.ci95_half_width,
+             messages.p50, messages.p90, messages.maximum],
+            ["steps", steps.mean, steps.ci95_half_width,
+             steps.p50, steps.p90, steps.maximum],
+        ],
+        title=f"{args.trials} runs, n={args.n}, coin={args.coin or 'local'} "
+              "(all runs safety-checked)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bracha's asynchronous Byzantine consensus (PODC 1984) — experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("-n", type=int, default=4, help="number of processes")
+        p.add_argument("--seed", type=int, default=0)
+
+    consensus = sub.add_parser("consensus", help="one checked consensus run")
+    common(consensus)
+    consensus.add_argument("--t", type=int, default=None, help="fault bound (default ⌊(n−1)/3⌋)")
+    consensus.add_argument("--protocol",
+                           choices=["bracha", "benor", "benor-crash", "mmr14"],
+                           default="bracha")
+    consensus.add_argument("--coin", choices=["local", "dealer", "shares"], default=None)
+    consensus.add_argument("--proposals", default=None,
+                           help="'0'/'1' for unanimity or an n-bit string like 0110")
+    consensus.add_argument("--faults", nargs="*", metavar="PID:KIND",
+                           help="e.g. 3:silent 2:two_faced")
+    consensus.add_argument("--scheduler",
+                           choices=["random", "fifo", "delay", "victim", "split"],
+                           default=None)
+    consensus.add_argument("--max-steps", type=int, default=2_000_000)
+    consensus.set_defaults(func=cmd_consensus)
+
+    broadcast = sub.add_parser("broadcast", help="one reliable-broadcast instance")
+    common(broadcast)
+    broadcast.add_argument("--sender", type=int, default=0)
+    broadcast.add_argument("--value", default="payload")
+    broadcast.add_argument("--equivocate", action="store_true",
+                           help="the sender is Byzantine and equivocates")
+    broadcast.set_defaults(func=cmd_broadcast)
+
+    attack = sub.add_parser("attack", help="scripted Ben-Or disagreement attack")
+    attack.add_argument("--trials", type=int, default=12)
+    attack.add_argument("--seed", type=int, default=0)
+    attack.set_defaults(func=cmd_attack)
+
+    sweep = sub.add_parser("sweep", help="repeated runs with aggregate stats")
+    common(sweep)
+    sweep.add_argument("--trials", type=int, default=20)
+    sweep.add_argument("--coin", choices=["local", "dealer", "shares"], default=None)
+    sweep.add_argument("--proposals", default=None)
+    sweep.add_argument("--faults", nargs="*", metavar="PID:KIND")
+    sweep.add_argument("--max-steps", type=int, default=4_000_000)
+    sweep.set_defaults(func=cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

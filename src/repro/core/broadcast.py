@@ -1,0 +1,189 @@
+"""Bracha's reliable broadcast (PODC 1984).
+
+The primitive lets a designated *originator* broadcast one value per
+*instance* such that, despite up to ``t < n/3`` Byzantine processes:
+
+* **Validity** — if the originator is correct, every correct process
+  eventually accepts its value.
+* **Consistency** — no two correct processes accept different values for
+  the same instance (the originator cannot equivocate).
+* **Totality** — if any correct process accepts a value, every correct
+  process eventually accepts it (even if the originator is faulty and
+  stops halfway).
+* **Integrity** — a correct process accepts at most one value per
+  instance.
+
+Protocol (per instance, code for process *i*):
+
+1. The originator sends ``⟨INIT, v⟩`` to all.
+2. On the first ``⟨INIT, v⟩`` *from the instance's originator*: send
+   ``⟨ECHO, v⟩`` to all.
+3. On ``⌈(n+t+1)/2⌉`` ``⟨ECHO, v⟩`` for the same ``v``, or ``t+1``
+   ``⟨READY, v⟩``: send ``⟨READY, v⟩`` to all (once per instance).
+4. On ``2t+1`` ``⟨READY, v⟩``: accept ``v``.
+
+Why it works, in one paragraph: two echo quorums of size
+``⌈(n+t+1)/2⌉`` intersect in at least ``t+1`` processes, hence in a
+correct one, so correct processes cannot go READY for different values
+via echoes; going READY via ``t+1`` READYs requires a correct process
+that already went READY, which grounds out in an echo quorum.  Accepting
+needs ``2t+1`` READYs, of which ``t+1`` are correct — those ``t+1``
+READYs reach everyone and push every correct process past the ``t+1``
+amplification threshold, giving totality.
+
+A single :class:`BroadcastLayer` module multiplexes any number of
+concurrent instances, addressed by hashable instance identifiers; the
+consensus layer runs ``n`` instances per step.  Cost per instance:
+``n`` INIT + ``n²`` ECHO + ``n²`` READY messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Set
+
+from ..sim.process import ProtocolModule
+from ..types import Phase, ProcessId
+
+
+@dataclass(frozen=True)
+class RbcMessage:
+    """Wire format of the broadcast layer.
+
+    ``instance`` names the broadcast; by convention it is a tuple whose
+    last component is the originator's pid, but the layer does not rely
+    on that: ``originator`` is carried explicitly and INIT messages are
+    only honored when the network-level sender *is* the originator.
+    """
+
+    instance: Hashable
+    originator: ProcessId
+    phase: Phase
+    value: Any
+
+
+@dataclass(frozen=True)
+class RbcDelivery:
+    """Upcall event: ``value`` was accepted for ``instance``."""
+
+    instance: Hashable
+    originator: ProcessId
+    value: Any
+
+
+@dataclass
+class _InstanceState:
+    """Per-instance bookkeeping at one process."""
+
+    echoed: bool = False
+    ready_sent: bool = False
+    accepted: bool = False
+    # value -> set of pids we heard that phase-message from
+    echoes: Dict[Any, Set[ProcessId]] = field(default_factory=dict)
+    readies: Dict[Any, Set[ProcessId]] = field(default_factory=dict)
+
+
+class BroadcastLayer(ProtocolModule):
+    """Multiplexed Bracha reliable broadcast.
+
+    Upper layers call :meth:`broadcast` to originate and subscribe to
+    :class:`RbcDelivery` events for acceptances.  The layer is a pure
+    state machine over (sender, message) inputs — all thresholds come
+    from the process's :class:`~repro.params.ProtocolParams`.
+    """
+
+    MODULE_ID = "rbc"
+
+    def __init__(self, module_id: str = MODULE_ID):
+        super().__init__(module_id)
+        self._instances: Dict[Hashable, _InstanceState] = {}
+        self._init_value_seen: Dict[Hashable, Any] = {}
+
+    # -- public API ------------------------------------------------------
+
+    def broadcast(self, instance: Hashable, value: Any) -> None:
+        """Originate a broadcast of ``value`` in ``instance``.
+
+        The caller is the originator; receivers will only honor the INIT
+        because the network attributes it to this process.
+        """
+        assert self.ctx is not None, "module not bound to a process"
+        self.ctx.broadcast(RbcMessage(instance, self.ctx.pid, Phase.INIT, value))
+
+    def accepted(self, instance: Hashable) -> bool:
+        """Whether this process has accepted a value for ``instance``."""
+        state = self._instances.get(instance)
+        return state is not None and state.accepted
+
+    def forget(self, instance: Hashable) -> None:
+        """Drop all state for a finished instance (long-running apps)."""
+        self._instances.pop(instance, None)
+        self._init_value_seen.pop(instance, None)
+
+    # -- state machine ------------------------------------------------------
+
+    def on_message(self, sender: ProcessId, payload: Any) -> None:
+        if not isinstance(payload, RbcMessage):
+            return  # garbage from a Byzantine process
+        if payload.phase is Phase.INIT:
+            self._on_init(sender, payload)
+        elif payload.phase is Phase.ECHO:
+            self._on_echo(sender, payload)
+        elif payload.phase is Phase.READY:
+            self._on_ready(sender, payload)
+
+    def _state(self, instance: Hashable) -> _InstanceState:
+        state = self._instances.get(instance)
+        if state is None:
+            state = _InstanceState()
+            self._instances[instance] = state
+        return state
+
+    def _on_init(self, sender: ProcessId, msg: RbcMessage) -> None:
+        if sender != msg.originator:
+            return  # forged INIT: only the originator may start its instance
+        if msg.instance in self._init_value_seen:
+            return  # equivocating originator: echo only the first INIT
+        self._init_value_seen[msg.instance] = msg.value
+        state = self._state(msg.instance)
+        if state.echoed:
+            return
+        state.echoed = True
+        assert self.ctx is not None
+        self.ctx.broadcast(
+            RbcMessage(msg.instance, msg.originator, Phase.ECHO, msg.value)
+        )
+
+    def _on_echo(self, sender: ProcessId, msg: RbcMessage) -> None:
+        state = self._state(msg.instance)
+        supporters = state.echoes.setdefault(msg.value, set())
+        supporters.add(sender)
+        assert self.ctx is not None
+        if not state.ready_sent and len(supporters) >= self.ctx.params.echo_quorum:
+            state.ready_sent = True
+            self.ctx.broadcast(
+                RbcMessage(msg.instance, msg.originator, Phase.READY, msg.value)
+            )
+
+    def _on_ready(self, sender: ProcessId, msg: RbcMessage) -> None:
+        state = self._state(msg.instance)
+        supporters = state.readies.setdefault(msg.value, set())
+        supporters.add(sender)
+        assert self.ctx is not None
+        params = self.ctx.params
+        if not state.ready_sent and len(supporters) >= params.ready_amplify:
+            state.ready_sent = True
+            self.ctx.broadcast(
+                RbcMessage(msg.instance, msg.originator, Phase.READY, msg.value)
+            )
+        if not state.accepted and len(supporters) >= params.accept_quorum:
+            state.accepted = True
+            self.emit(RbcDelivery(msg.instance, msg.originator, msg.value))
+
+    # -- inspection (tests and debugging) ---------------------------------
+
+    def instance_state(self, instance: Hashable) -> Optional[_InstanceState]:
+        return self._instances.get(instance)
+
+    def open_instances(self) -> int:
+        return len(self._instances)

@@ -1,0 +1,313 @@
+"""Message validation — the key idea of Bracha's consensus.
+
+Accepting a value through reliable broadcast tells a process that
+everybody will agree the sender *sent* that value; it does not tell it
+that the value is one a *correct* process could have sent.  Validation
+closes that gap.  A step message is **justified** at a receiver once the
+receiver's own set of validated previous-step messages contains a
+step-quorum (``n−t``) subset from which the protocol's transition
+function could have produced the claimed value.
+
+Justification is *monotone*: validated sets only grow, and each
+predicate below only flips from False to True as counts grow.  The
+:class:`StepValidator` therefore keeps a pending pool per (round, step)
+and re-evaluates it whenever the previous step's validated set changes.
+
+The predicates, written against the counts in the receiver's validated
+set of the previous step (``params`` gives the thresholds):
+
+* ``(r, 1, v)`` with ``r == 1`` — always justified: round-1 inputs are
+  free.
+* ``(r, 1, v)`` with ``r > 1`` — justified if a correct process could
+  have *ended round r−1* with ``v``:  either some ``n−t`` subset of
+  validated ``(r−1, 3)`` messages contains ``t+1`` decide-proposals for
+  ``v`` (the decide/adopt branches), or some ``n−t`` subset contains at
+  most ``t`` decide-proposals of every value (the coin branch — which
+  permits *any* bit, since the coin is fair).
+* ``(r, 2, v)`` — justified if ``v`` can be the majority of some ``n−t``
+  subset of validated ``(r, 1)`` messages, i.e. the count of ``v`` is at
+  least ``⌊(n−t)/2⌋+1``.
+* ``(r, 3, (d, v))`` — a decide-proposal is justified if ``v`` can hold
+  a ``> n/2`` majority within some ``n−t`` subset of validated ``(r, 2)``
+  messages, i.e. the count of ``v`` there is at least ``⌊n/2⌋+1``.
+* ``(r, 3, v)`` plain — a plain step-3 value is, by the protocol, exactly
+  the value the sender broadcast in step 2 (it kept its estimate because
+  it saw no ``> n/2`` majority).  Reliable broadcast gives every sender
+  one step-2 value, so the receiver justifies the message against the
+  sender's *own* validated step-2 message: present and equal to ``v``.
+  This is both tighter than a count-based rule (a sender can never
+  contradict itself) and necessary for liveness: with only ``n−t``
+  correct processes alive, a count-based rule can starve a correct
+  process whose step-1 prefix had the minority majority.
+
+Why this suffices (the two load-bearing consequences):
+
+1. *Unanimity is preserved.*  If every correct process enters a round
+   with ``v``, at most ``t`` validated step-1 messages can carry ``¬v``
+   (only round-1 Byzantine inputs), which is below the
+   ``⌊(n−t)/2⌋+1 ≥ t+1`` bar — so no ``¬v`` step-2 or step-3 message is
+   ever justified, every step-2 set is unanimous, and every correct
+   process proposes to decide ``v``.
+2. *Decide-proposals are unique per round.*  Two justified proposals
+   ``(d, v)`` and ``(d, ¬v)`` would need two ``> n/2`` sender sets for
+   different values among step-2 messages; reliable broadcast gives each
+   sender one step-2 value, so the sets intersect — contradiction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from ..params import ProtocolParams
+from ..types import ProcessId, Round, Step, StepValue
+
+
+def _counts(validated: Dict[ProcessId, StepValue]) -> Tuple[int, Dict[int, int], Dict[int, int]]:
+    """Total, per-bit, and per-bit decide-proposal counts of a message set."""
+    total = len(validated)
+    bit_counts = {0: 0, 1: 0}
+    decide_counts = {0: 0, 1: 0}
+    for value in validated.values():
+        bit_counts[value.bit] += 1
+        if value.decide:
+            decide_counts[value.bit] += 1
+    return total, bit_counts, decide_counts
+
+
+def justify_step(
+    params: ProtocolParams,
+    round_: Round,
+    step: Step,
+    value: StepValue,
+    previous: Dict[ProcessId, StepValue],
+    originator: ProcessId | None = None,
+) -> bool:
+    """Is ``value`` justified for ``(round_, step)`` given the validated
+    messages ``previous`` of the preceding step?
+
+    ``previous`` is keyed by originator pid.  For step 1 of round ``r``
+    it must be the validated ``(r−1, 3)`` set; for steps 2 and 3 the
+    validated ``(r, step−1)`` set.  ``originator`` identifies the
+    message's sender; plain step-3 messages are justified against the
+    sender's own step-2 value (see the module docstring).
+    """
+    if step is Step.ONE:
+        if value.decide:
+            return False  # round-entry messages are always plain
+        if round_ <= 1:
+            return True
+        return _justify_round_entry(params, value, previous)
+    if step is Step.TWO:
+        if value.decide:
+            return False  # decide marks exist only in step 3
+        return _justify_majority(params, value.bit, previous, params.step_majority())
+    if step is Step.THREE:
+        if value.decide:
+            return _justify_majority(params, value.bit, previous, params.majority)
+        if originator is None:
+            return False
+        own_step2 = previous.get(originator)
+        return own_step2 is not None and own_step2.bit == value.bit
+    raise ValueError(f"unknown step {step!r}")
+
+
+def _justify_majority(
+    params: ProtocolParams,
+    bit: int,
+    previous: Dict[ProcessId, StepValue],
+    needed: int,
+) -> bool:
+    """Can ``bit`` reach ``needed`` copies within some ``n−t`` subset?
+
+    Achievable iff the full validated set holds at least ``needed``
+    copies of ``bit`` and at least ``n−t`` messages overall (take every
+    copy of ``bit``, pad with arbitrary others).
+    """
+    total, bit_counts, _ = _counts(previous)
+    if total < params.step_quorum:
+        return False
+    return bit_counts[bit] >= min(needed, params.step_quorum)
+
+
+def _justify_round_entry(
+    params: ProtocolParams,
+    value: StepValue,
+    previous: Dict[ProcessId, StepValue],
+) -> bool:
+    """Could a correct process have carried ``value.bit`` out of the
+    previous round's step 3?"""
+    if value.decide:
+        return False  # round-entry (step 1) messages are always plain
+    total, _, decide_counts = _counts(previous)
+    if total < params.step_quorum:
+        return False
+    # Decide/adopt branch: a subset holding t+1 decide-proposals for v.
+    if decide_counts[value.bit] >= params.adopt_threshold:
+        return True
+    # Coin branch: a subset where every value has at most t proposals —
+    # then the coin permits any bit.  The largest subset satisfying the
+    # cap keeps all plain messages and at most t proposals per bit.
+    plain = total - decide_counts[0] - decide_counts[1]
+    cap = params.t
+    achievable = plain + min(decide_counts[0], cap) + min(decide_counts[1], cap)
+    return achievable >= params.step_quorum
+
+
+@dataclass
+class _Pool:
+    """Accepted-but-not-yet-justified messages for one (round, step)."""
+
+    pending: Dict[ProcessId, StepValue] = field(default_factory=dict)
+    validated: Dict[ProcessId, StepValue] = field(default_factory=dict)
+
+
+class PermissiveValidator:
+    """Ablation: a validator that justifies everything immediately.
+
+    Used by the A1 ablation experiment to show what the justification
+    machinery buys: with this validator, a single Byzantine process can
+    steer a unanimous system to the *other* value (a strong-validity
+    violation), which the real :class:`StepValidator` provably prevents.
+    Never use outside experiments.
+    """
+
+    def __init__(self, params: ProtocolParams):
+        self.params = params
+        self._sets: Dict[Tuple[Round, Step], Dict[ProcessId, StepValue]] = {}
+
+    def add(
+        self, round_: Round, step: Step, originator: ProcessId, value: StepValue
+    ) -> List[Tuple[Round, Step]]:
+        bucket = self._sets.setdefault((round_, step), {})
+        if originator in bucket:
+            return []
+        bucket[originator] = value
+        return [(round_, step)]
+
+    def validated(self, round_: Round, step: Step) -> Dict[ProcessId, StepValue]:
+        return self._sets.setdefault((round_, step), {})
+
+    def validated_count(self, round_: Round, step: Step) -> int:
+        return len(self._sets.get((round_, step), {}))
+
+    def pending_count(self, round_: Round, step: Step) -> int:
+        return 0
+
+    def decide_support(self, round_: Round) -> Dict[int, int]:
+        _, _, decide_counts = _counts(self._sets.get((round_, Step.THREE), {}))
+        return decide_counts
+
+    def rounds_seen(self) -> Iterable[Round]:
+        return sorted({r for (r, _s) in self._sets})
+
+
+class StepValidator:
+    """Tracks accepted consensus messages and their justification status.
+
+    The consensus module feeds every reliable-broadcast acceptance into
+    :meth:`add`; the validator moves messages from the pending pool to
+    the validated set as their justification predicate becomes true, and
+    reports which (round, step) sets changed so the caller can re-run its
+    upon-rules.  All state is per-receiving-process.
+    """
+
+    def __init__(self, params: ProtocolParams):
+        self.params = params
+        self._pools: Dict[Tuple[Round, Step], _Pool] = {}
+
+    def _pool(self, round_: Round, step: Step) -> _Pool:
+        key = (round_, step)
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = _Pool()
+            self._pools[key] = pool
+        return pool
+
+    # -- feeding ---------------------------------------------------------
+
+    def add(
+        self, round_: Round, step: Step, originator: ProcessId, value: StepValue
+    ) -> List[Tuple[Round, Step]]:
+        """Record an accepted message; return the list of (round, step)
+        whose validated set changed (possibly transitively)."""
+        pool = self._pool(round_, step)
+        if originator in pool.pending or originator in pool.validated:
+            # Reliable broadcast delivers once per instance; a duplicate
+            # means the originator ran two instances with the same tag,
+            # which the consensus layer's instance naming precludes.
+            return []
+        pool.pending[originator] = value
+        return self._revalidate_from(round_, step)
+
+    # -- justification fixpoint ----------------------------------------
+
+    def _previous_key(self, round_: Round, step: Step) -> Tuple[Round, Step] | None:
+        if step is Step.ONE:
+            if round_ <= 1:
+                return None
+            return (round_ - 1, Step.THREE)
+        return (round_, Step(step - 1))
+
+    def _next_key(self, round_: Round, step: Step) -> Tuple[Round, Step]:
+        if step is Step.THREE:
+            return (round_ + 1, Step.ONE)
+        return (round_, Step(step + 1))
+
+    def _try_validate(self, round_: Round, step: Step) -> bool:
+        """Move every now-justified pending message; True if any moved."""
+        pool = self._pool(round_, step)
+        if not pool.pending:
+            return False
+        prev_key = self._previous_key(round_, step)
+        previous = self._pools[prev_key].validated if prev_key in self._pools else {}
+        if prev_key is not None and prev_key not in self._pools:
+            self._pools[prev_key] = _Pool()
+            previous = self._pools[prev_key].validated
+        moved = [
+            (originator, value)
+            for originator, value in pool.pending.items()
+            if justify_step(self.params, round_, step, value, previous, originator)
+        ]
+        for originator, value in moved:
+            del pool.pending[originator]
+            pool.validated[originator] = value
+        return bool(moved)
+
+    def _revalidate_from(self, round_: Round, step: Step) -> List[Tuple[Round, Step]]:
+        """Run the justification fixpoint starting at (round, step)."""
+        changed: List[Tuple[Round, Step]] = []
+        frontier = [(round_, step)]
+        while frontier:
+            key = frontier.pop(0)
+            if self._try_validate(*key):
+                changed.append(key)
+                frontier.append(self._next_key(*key))
+        return changed
+
+    def revalidate_all(self) -> List[Tuple[Round, Step]]:
+        """Re-run justification over every pool (used after bulk loads)."""
+        changed: List[Tuple[Round, Step]] = []
+        for key in sorted(self._pools, key=lambda k: (k[0], int(k[1]))):
+            changed.extend(self._revalidate_from(*key))
+        return changed
+
+    # -- queries ---------------------------------------------------------
+
+    def validated(self, round_: Round, step: Step) -> Dict[ProcessId, StepValue]:
+        """The validated message set for (round, step) — do not mutate."""
+        return self._pool(round_, step).validated
+
+    def validated_count(self, round_: Round, step: Step) -> int:
+        return len(self._pool(round_, step).validated)
+
+    def pending_count(self, round_: Round, step: Step) -> int:
+        return len(self._pool(round_, step).pending)
+
+    def decide_support(self, round_: Round) -> Dict[int, int]:
+        """Per-bit counts of validated step-3 decide-proposals in a round."""
+        _, _, decide_counts = _counts(self._pool(round_, Step.THREE).validated)
+        return decide_counts
+
+    def rounds_seen(self) -> Iterable[Round]:
+        return sorted({r for (r, _s) in self._pools})

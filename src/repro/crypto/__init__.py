@@ -1,0 +1,15 @@
+"""Cryptographic substrates used by the common-coin implementations.
+
+Rabin's common coin (FOCS 1983) assumes a trusted dealer that
+predistributes secret-shared coin values.  We implement the substrate for
+real: Shamir secret sharing over a prime field
+(:mod:`repro.crypto.shamir`) and a dealer that issues authenticated
+shares (:mod:`repro.crypto.dealer`).  Nothing here requires computational
+assumptions beyond the MAC stand-in — matching the signature-free spirit
+of Bracha's protocol.
+"""
+
+from .dealer import CoinDealer, SignedShare
+from .shamir import Share, recover_secret, share_secret
+
+__all__ = ["CoinDealer", "Share", "SignedShare", "recover_secret", "share_secret"]

@@ -1,0 +1,83 @@
+"""Shamir secret sharing over a prime field.
+
+A secret ``s`` is embedded as the constant term of a uniformly random
+polynomial ``f`` of degree ``k−1`` over ``GF(p)``; the share of party
+``i`` is the point ``f(x_i)`` with ``x_i = i + 1`` (never 0).  Any ``k``
+shares recover ``s`` by Lagrange interpolation at 0; any ``k−1`` shares
+are statistically independent of ``s``.
+
+The common-coin dealer uses threshold ``k = t+1``: the adversary's ``t``
+shares reveal nothing, while the ``n−t ≥ t+1`` correct processes can
+always reconstruct.
+
+The prime is a 61-bit Mersenne prime, comfortably above any share index
+or secret used here and fast to reduce by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Iterable, Sequence
+
+PRIME = (1 << 61) - 1  # 2^61 - 1, a Mersenne prime
+
+
+@dataclass(frozen=True)
+class Share:
+    """One party's share: the evaluation point and the field value."""
+
+    x: int
+    y: int
+
+
+def _eval_poly(coeffs: Sequence[int], x: int) -> int:
+    """Evaluate a polynomial given low-to-high coefficients, mod PRIME."""
+    acc = 0
+    for coeff in reversed(coeffs):
+        acc = (acc * x + coeff) % PRIME
+    return acc
+
+
+def share_secret(secret: int, k: int, xs: Iterable[int], rng: Random) -> list[Share]:
+    """Split ``secret`` with threshold ``k`` at evaluation points ``xs``.
+
+    ``k`` shares reconstruct; ``k−1`` reveal nothing.  Evaluation points
+    must be distinct and non-zero.
+    """
+    xs = list(xs)
+    if k < 1:
+        raise ValueError(f"threshold must be at least 1, got {k}")
+    if len(set(xs)) != len(xs):
+        raise ValueError("evaluation points must be distinct")
+    if any(x % PRIME == 0 for x in xs):
+        raise ValueError("evaluation point 0 would leak the secret")
+    if not 0 <= secret < PRIME:
+        raise ValueError("secret out of field range")
+    coeffs = [secret] + [rng.randrange(PRIME) for _ in range(k - 1)]
+    return [Share(x, _eval_poly(coeffs, x)) for x in xs]
+
+
+def recover_secret(shares: Sequence[Share]) -> int:
+    """Lagrange-interpolate the constant term from ``len(shares)`` points.
+
+    The caller must supply at least the sharing threshold's worth of
+    *correct* shares; supplying wrong shares yields a wrong secret, which
+    is why the dealer authenticates shares (:mod:`repro.crypto.dealer`).
+    """
+    if not shares:
+        raise ValueError("cannot recover a secret from zero shares")
+    if len({s.x for s in shares}) != len(shares):
+        raise ValueError("duplicate evaluation points")
+    total = 0
+    for i, share_i in enumerate(shares):
+        numerator = 1
+        denominator = 1
+        for j, share_j in enumerate(shares):
+            if i == j:
+                continue
+            numerator = (numerator * (-share_j.x)) % PRIME
+            denominator = (denominator * (share_i.x - share_j.x)) % PRIME
+        lagrange = numerator * pow(denominator, PRIME - 2, PRIME) % PRIME
+        total = (total + share_i.y * lagrange) % PRIME
+    return total

@@ -1,0 +1,83 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from protocol-level safety
+violations detected by the harness.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class ConfigError(ReproError):
+    """A component was constructed with inconsistent parameters.
+
+    Examples: ``n <= 3 * t`` for a protocol that requires optimal
+    resilience, a fault set larger than the declared ``t``, or a process
+    identifier outside ``range(n)``.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an illegal state.
+
+    Examples: delivering a message to an unregistered process, running a
+    simulation whose event budget is exhausted, or scheduling from a
+    scheduler that has been closed.
+    """
+
+
+class EventBudgetExceeded(SimulationError):
+    """The simulation exceeded its ``max_steps`` budget before quiescing.
+
+    Carries the number of steps executed so callers (tests, benchmarks)
+    can distinguish a genuine livelock from an undersized budget.
+    """
+
+    def __init__(self, steps: int, message: str = ""):
+        self.steps = steps
+        text = message or f"simulation exceeded its event budget after {steps} steps"
+        super().__init__(text)
+
+
+class SafetyViolation(ReproError):
+    """A protocol invariant that must never break was observed broken.
+
+    The experiment harness checks agreement, validity, integrity, and the
+    broadcast properties after (and during) every run.  A violation is a
+    *finding*, not a crash: benchmarks that intentionally exceed the
+    resilience bound catch this exception and count it.
+    """
+
+
+class AgreementViolation(SafetyViolation):
+    """Two correct processes decided different values."""
+
+
+class ValidityViolation(SafetyViolation):
+    """A correct process decided a value no correct process proposed."""
+
+
+class IntegrityViolation(SafetyViolation):
+    """A correct process decided (or accepted) more than once."""
+
+
+class BroadcastConsistencyViolation(SafetyViolation):
+    """Two correct processes accepted different values for one broadcast."""
+
+
+class LivenessFailure(ReproError):
+    """A run reached quiescence without every correct process finishing.
+
+    Under an admissible scheduler and within the resilience bound this
+    must never happen for Bracha's protocol; seeing it in a test means a
+    protocol layer lost a message or an upon-rule failed to re-fire.
+    """
+
+
+class AuthenticationError(ReproError):
+    """A message failed MAC verification at the link layer."""

@@ -1,0 +1,16 @@
+"""Link-layer functionalities: message authentication and FIFO transport.
+
+Bracha's model assumes *authenticated* reliable point-to-point links: the
+receiver of a message knows which process sent it, and faulty processes
+cannot forge messages on behalf of correct ones.  The simulator passes the
+true sender out of band (the usual idealization); :mod:`repro.net.auth`
+implements the MAC machinery explicitly so the idealization is backed by
+working code, and :mod:`repro.net.links` provides a FIFO transport built
+from sequence numbers and a reorder buffer — the standard construction
+referenced in the literature.
+"""
+
+from .auth import AuthenticationError, Authenticator, KeyRing
+from .links import FifoTransport
+
+__all__ = ["AuthenticationError", "Authenticator", "FifoTransport", "KeyRing"]

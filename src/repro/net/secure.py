@@ -1,0 +1,94 @@
+"""Authenticated transport: the MAC machinery, enforced on the wire.
+
+The simulator's network layer already attributes each message to its
+true sender (the standard idealization of pairwise MACs).  This module
+*implements* the idealization: every payload travels wrapped in a
+:class:`SealedPacket` carrying an HMAC tag over (source, dest, payload),
+and the receiving transport verifies the tag against the claimed sender
+before releasing the payload to consumers.  A forged or tampered packet
+is counted and dropped.
+
+Running a protocol stack over :class:`SecureTransport` therefore
+exercises the *real* authentication path; the test suite uses it to show
+that a Byzantine process cannot speak in another process's name even if
+the attribution idealization were removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+from ..sim.process import ProtocolModule
+from ..types import ProcessId
+from .auth import Authenticator, KeyRing
+
+
+@dataclass(frozen=True)
+class SealedPacket:
+    """Wire format: claimed source, consumer tag, payload, MAC tag."""
+
+    source: ProcessId
+    tag: str
+    inner: Any
+    mac: bytes
+
+
+class SecureTransport(ProtocolModule):
+    """Link-layer module sealing and verifying every message.
+
+    The packet carries a *claimed* source so that verification does not
+    depend on the simulator's out-of-band attribution at all: the MAC is
+    checked against the claimed identity, and a mismatch (either a
+    forged claim or a tampered payload) increments ``rejected`` and
+    drops the packet silently — exactly what authenticated channels
+    promise.
+    """
+
+    MODULE_ID = "secure"
+
+    def __init__(self, authenticator: Authenticator):
+        super().__init__(self.MODULE_ID)
+        self._auth = authenticator
+        self._consumers: Dict[str, Callable[[ProcessId, Any], None]] = {}
+        self.rejected = 0
+        self.accepted = 0
+
+    @classmethod
+    def for_ring(cls, ring: KeyRing, pid: ProcessId) -> "SecureTransport":
+        return cls(ring.authenticator(pid))
+
+    # -- upper layer -------------------------------------------------------
+
+    def register_consumer(self, tag: str, callback: Callable[[ProcessId, Any], None]) -> None:
+        if tag in self._consumers:
+            raise ValueError(f"consumer tag {tag!r} registered twice")
+        self._consumers[tag] = callback
+
+    def send_via(self, dest: ProcessId, tag: str, payload: Any) -> None:
+        assert self.ctx is not None, "module not bound to a process"
+        body = (tag, payload)
+        mac = self._auth.tag(dest, body)
+        self.ctx.send(dest, SealedPacket(self._auth.pid, tag, payload, mac))
+
+    def broadcast_via(self, tag: str, payload: Any) -> None:
+        assert self.ctx is not None, "module not bound to a process"
+        for dest in range(self.ctx.params.n):
+            self.send_via(dest, tag, payload)
+
+    # -- wire ---------------------------------------------------------------
+
+    def on_message(self, sender: ProcessId, payload: Any) -> None:
+        if not isinstance(payload, SealedPacket):
+            self.rejected += 1
+            return
+        body = (payload.tag, payload.inner)
+        if not self._auth.verify(payload.source, body, payload.mac):
+            self.rejected += 1
+            return
+        self.accepted += 1
+        consumer = self._consumers.get(payload.tag)
+        if consumer is not None:
+            # The *verified* claimed source is what the consumer sees —
+            # attribution now rests on the MAC, not on the simulator.
+            consumer(payload.source, payload.inner)

@@ -1,0 +1,148 @@
+"""Quorum arithmetic for Bracha's protocols.
+
+Every threshold used by the protocols is derived here, in one place, from
+the pair ``(n, t)``:
+
+* ``n`` — number of processes,
+* ``t`` — maximum number of Byzantine processes tolerated.
+
+Bracha's consensus requires ``n > 3t`` (optimal resilience).  The reliable
+broadcast primitive uses the echo quorum ``⌈(n+t+1)/2⌉``, ready
+amplification at ``t+1`` and acceptance at ``2t+1``.  The consensus layer
+waits for ``n−t`` validated messages per step, proposes a decision on a
+``> n/2`` majority and decides on ``2t+1`` decide proposals.
+
+Keeping the arithmetic in a frozen dataclass makes the protocol code read
+like the paper ("wait for a *step quorum* of validated messages") and lets
+property-based tests check the quorum-intersection facts the proofs rely
+on, independent of any protocol run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ConfigError
+
+
+def max_faults(n: int) -> int:
+    """Largest ``t`` with ``n > 3t`` — i.e. ``⌊(n−1)/3⌋``."""
+    if n < 1:
+        raise ConfigError(f"need at least one process, got n={n}")
+    return (n - 1) // 3
+
+
+@dataclass(frozen=True)
+class ProtocolParams:
+    """Derived thresholds for a system of ``n`` processes tolerating ``t`` faults."""
+
+    n: int
+    t: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigError(f"need at least one process, got n={self.n}")
+        if self.t < 0:
+            raise ConfigError(f"fault bound must be non-negative, got t={self.t}")
+        if self.t >= self.n:
+            raise ConfigError(f"cannot tolerate t={self.t} faults among n={self.n}")
+
+    # -- resilience ---------------------------------------------------
+
+    @property
+    def optimal(self) -> bool:
+        """True when ``n > 3t`` (the bound Bracha proves optimal)."""
+        return self.n > 3 * self.t
+
+    def require_optimal(self) -> "ProtocolParams":
+        """Raise :class:`ConfigError` unless ``n > 3t``; return self."""
+        if not self.optimal:
+            raise ConfigError(
+                f"Bracha's protocol requires n > 3t; got n={self.n}, t={self.t}"
+            )
+        return self
+
+    # -- broadcast thresholds ------------------------------------------
+
+    @property
+    def echo_quorum(self) -> int:
+        """ECHOs needed before sending READY: ``⌈(n+t+1)/2⌉``.
+
+        Any two echo quorums intersect in at least ``t+1`` processes, i.e.
+        in at least one correct process, which is what makes two correct
+        processes unable to gather echo quorums for different values.
+        """
+        return (self.n + self.t + 2) // 2  # == ceil((n + t + 1) / 2)
+
+    @property
+    def ready_amplify(self) -> int:
+        """READYs needed to join the READY wave without an echo quorum: ``t+1``."""
+        return self.t + 1
+
+    @property
+    def accept_quorum(self) -> int:
+        """READYs needed to accept a broadcast value: ``2t+1``."""
+        return 2 * self.t + 1
+
+    # -- consensus thresholds ------------------------------------------
+
+    @property
+    def step_quorum(self) -> int:
+        """Validated messages collected in each consensus step: ``n−t``."""
+        return self.n - self.t
+
+    @property
+    def majority(self) -> int:
+        """Strict majority of the whole system: ``⌊n/2⌋+1``.
+
+        A step-2 process that sees this many copies of one value among its
+        collected messages proposes to decide it.  Two such proposals for
+        different values would require two sender sets of size ``> n/2``
+        that are disjoint (reliable broadcast forbids per-sender
+        equivocation) — impossible.
+        """
+        return self.n // 2 + 1
+
+    @property
+    def decide_quorum(self) -> int:
+        """Decide proposals needed to decide: ``2t+1``."""
+        return 2 * self.t + 1
+
+    @property
+    def adopt_threshold(self) -> int:
+        """Decide proposals that force adopting the value: ``t+1``."""
+        return self.t + 1
+
+    def step_majority(self) -> int:
+        """Strict majority of a step quorum: ``⌊(n−t)/2⌋+1``.
+
+        Used by step 1 (majority of the collected values) and by the
+        justification predicate for step-2 messages.
+        """
+        return self.step_quorum // 2 + 1
+
+    # -- intersection facts (used by tests and docs) --------------------
+
+    def kernel_size(self) -> int:
+        """Minimum overlap of two step quorums: ``n − 2t``.
+
+        For optimal resilience this is at least ``t+1``, so the overlap
+        always contains a correct process.
+        """
+        return self.n - 2 * self.t
+
+    def describe(self) -> str:
+        """Human-readable threshold summary (used by example scripts)."""
+        return (
+            f"n={self.n} t={self.t} | step quorum n-t={self.step_quorum}, "
+            f"majority >n/2={self.majority}, decide 2t+1={self.decide_quorum}, "
+            f"adopt t+1={self.adopt_threshold} | echo {self.echo_quorum}, "
+            f"ready-amplify {self.ready_amplify}, accept {self.accept_quorum}"
+        )
+
+
+def for_system(n: int, t: int | None = None) -> ProtocolParams:
+    """Build :class:`ProtocolParams`, defaulting ``t`` to ``⌊(n−1)/3⌋``."""
+    if t is None:
+        t = max_faults(n)
+    return ProtocolParams(n, t)

@@ -1,0 +1,87 @@
+"""The in-flight message set of a simulation.
+
+A :class:`PendingSet` holds every envelope that has been sent but not yet
+delivered.  Schedulers query it to choose the next delivery; adversarial
+schedulers additionally filter and reorder it.  The structure preserves
+insertion order (by envelope ``uid``) so that deterministic schedulers
+have a canonical iteration order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from ..errors import SimulationError
+from ..types import Envelope, ProcessId
+
+
+class PendingSet:
+    """Insertion-ordered set of in-flight :class:`~repro.types.Envelope`.
+
+    Removal is O(1) amortized via a tombstone dictionary; iteration skips
+    tombstones.  ``uid`` uniqueness is enforced: the simulator assigns
+    uids, so a duplicate indicates a harness bug.
+    """
+
+    def __init__(self) -> None:
+        self._items: dict[int, Envelope] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[Envelope]:
+        return iter(list(self._items.values()))
+
+    def __contains__(self, env: Envelope) -> bool:
+        return env.uid in self._items
+
+    def add(self, env: Envelope) -> None:
+        if env.uid in self._items:
+            raise SimulationError(f"duplicate envelope uid {env.uid}")
+        self._items[env.uid] = env
+
+    def remove(self, env: Envelope) -> None:
+        if env.uid not in self._items:
+            raise SimulationError(f"removing unknown envelope uid {env.uid}")
+        del self._items[env.uid]
+
+    def peek_oldest(self) -> Optional[Envelope]:
+        """Envelope with the smallest uid, or None when empty."""
+        for env in self._items.values():
+            return env
+        return None
+
+    def filter(self, predicate: Callable[[Envelope], bool]) -> list[Envelope]:
+        """All pending envelopes satisfying ``predicate``, oldest first."""
+        return [env for env in self._items.values() if predicate(env)]
+
+    def to_dest(self, dest: ProcessId) -> list[Envelope]:
+        """All pending envelopes addressed to ``dest``, oldest first."""
+        return self.filter(lambda env: env.dest == dest)
+
+    def from_source(self, source: ProcessId) -> list[Envelope]:
+        """All pending envelopes sent by ``source``, oldest first."""
+        return self.filter(lambda env: env.source == source)
+
+    def between(self, source: ProcessId, dest: ProcessId) -> list[Envelope]:
+        """Pending envelopes on the (source, dest) link, oldest first."""
+        return self.filter(lambda env: env.source == source and env.dest == dest)
+
+    def oldest_per_link(self) -> list[Envelope]:
+        """For each (source, dest) pair, the oldest pending envelope.
+
+        This is the candidate set for FIFO-per-link delivery.
+        """
+        seen: dict[tuple[ProcessId, ProcessId], Envelope] = {}
+        for env in self._items.values():
+            key = (env.source, env.dest)
+            if key not in seen:
+                seen[key] = env
+        return list(seen.values())
+
+    def snapshot(self) -> Iterable[Envelope]:
+        """A stable copy of the current contents (oldest first)."""
+        return tuple(self._items.values())

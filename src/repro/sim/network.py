@@ -1,0 +1,118 @@
+"""The message-passing fabric connecting processes to the simulator.
+
+The network implements *authenticated reliable point-to-point links*: a
+message sent between two correct processes is delivered exactly once,
+unmodified, and the receiver learns the true sender identity (the
+simulator passes the authentic ``source`` out of band, which is the
+standard idealization of MACs; :mod:`repro.net.auth` additionally
+implements the MAC machinery explicitly for the link-layer tests).
+
+Delivery order is entirely up to the attached scheduler — the network
+itself guarantees nothing about ordering, matching the paper's model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Protocol
+
+from ..errors import SimulationError
+from ..types import Envelope, ProcessId
+from .events import PendingSet
+from .metrics import Metrics
+from .rng import SplitRng
+from .trace import Trace
+
+
+class Deliverable(Protocol):
+    """What the network requires of a registered process (correct or not)."""
+
+    pid: ProcessId
+
+    def deliver(self, sender: ProcessId, payload: Any) -> None: ...
+
+    def start(self) -> None: ...
+
+
+class Network:
+    """Registry of processes plus the in-flight message set.
+
+    ``outbound_filter`` is a test/attack hook: a callable receiving each
+    envelope before it enters the pending set; returning ``False`` drops
+    the message (allowed only for traffic touching faulty processes —
+    the model forbids dropping correct-to-correct traffic, and the
+    default filter enforces nothing so the *harness* checks this).
+    """
+
+    def __init__(self, rng: SplitRng, pending: PendingSet, metrics: Metrics, trace: Trace):
+        self.rng = rng
+        self.pending = pending
+        self.metrics = metrics
+        self.trace = trace
+        self.processes: Dict[ProcessId, Deliverable] = {}
+        self.outbound_filter: Optional[Callable[[Envelope], bool]] = None
+        self._uid = 0
+        self._now_fn: Callable[[], float] = lambda: 0.0
+        self._on_send: Optional[Callable[[Envelope], None]] = None
+
+    # -- wiring used by Simulation ---------------------------------------
+
+    def bind_clock(self, now_fn: Callable[[], float]) -> None:
+        self._now_fn = now_fn
+
+    def bind_send_hook(self, hook: Callable[[Envelope], None]) -> None:
+        self._on_send = hook
+
+    def now(self) -> float:
+        return self._now_fn()
+
+    def trace_note(self, pid: Optional[ProcessId], detail: Any) -> None:
+        self.trace.note(self.now(), pid, detail)
+
+    # -- registry ---------------------------------------------------------
+
+    def register(self, process: Deliverable) -> None:
+        if process.pid in self.processes:
+            raise SimulationError(f"pid {process.pid} registered twice")
+        self.processes[process.pid] = process
+
+    def replace(self, process: Deliverable) -> None:
+        """Swap in a different implementation for a pid (fault injection)."""
+        if process.pid not in self.processes:
+            raise SimulationError(f"pid {process.pid} not registered")
+        self.processes[process.pid] = process
+
+    @property
+    def n(self) -> int:
+        return len(self.processes)
+
+    # -- data plane ---------------------------------------------------------
+
+    def send(self, source: ProcessId, dest: ProcessId, payload: Any) -> None:
+        """Hand a message to the network for asynchronous delivery."""
+        if dest not in self.processes:
+            raise SimulationError(f"send to unknown process {dest}")
+        self._uid += 1
+        env = Envelope(
+            uid=self._uid,
+            source=source,
+            dest=dest,
+            payload=payload,
+            send_time=self.now(),
+        )
+        if self.outbound_filter is not None and not self.outbound_filter(env):
+            self.metrics.record_drop()
+            return
+        self.pending.add(env)
+        self.metrics.record_send(source, payload)
+        self.trace.send(env.send_time, env)
+        if self._on_send is not None:
+            self._on_send(env)
+
+    def deliver(self, env: Envelope, time: float) -> None:
+        """Deliver an in-flight envelope to its destination (runner only)."""
+        self.pending.remove(env)
+        self.metrics.record_delivery(env.dest, env.payload)
+        self.trace.deliver(time, env)
+        target = self.processes.get(env.dest)
+        if target is not None:
+            target.deliver(env.source, env.payload)

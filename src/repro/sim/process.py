@@ -1,0 +1,178 @@
+"""Process and protocol-module framework.
+
+A *process* is a container of named protocol modules (link layer,
+broadcast layer, consensus, application) wired together in the modular
+style of Cachin, Guerraoui & Rodrigues: modules interact downward by
+sending messages through their :class:`Context` and upward by invoking
+registered listener callbacks.
+
+Messages on the wire are routed tuples ``(module_id, inner_payload)``;
+the process dispatches an incoming envelope to the module whose id
+matches.  Modules never touch the network directly, which keeps them
+deterministic state machines that are trivial to unit-test.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
+
+from ..errors import SimulationError
+from ..params import ProtocolParams
+from ..types import ProcessId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .network import Network
+
+
+class Context:
+    """A module's handle on the outside world.
+
+    Exposes exactly what the asynchronous model permits: authenticated
+    sends to named processes, the process's own identity and parameters,
+    a private randomness stream, and the virtual clock (for
+    *measurement* only — protocols must never branch on it).
+    """
+
+    def __init__(self, process: "Process", module_id: str):
+        self._process = process
+        self.module_id = module_id
+        self.pid: ProcessId = process.pid
+        self.params: ProtocolParams = process.params
+
+    def send(self, dest: ProcessId, payload: Any) -> None:
+        """Send ``payload`` to ``dest`` over the authenticated link."""
+        self._process.network.send(self.pid, dest, (self.module_id, payload))
+
+    def broadcast(self, payload: Any) -> None:
+        """Send ``payload`` to every process, including ourselves.
+
+        The self-copy travels through the network like any other message
+        — the paper's protocols count a process's own message toward its
+        quorums, and routing it through the scheduler keeps executions
+        honest about asynchrony.
+        """
+        for dest in range(self.params.n):
+            self.send(dest, payload)
+
+    def rng(self, *names: object) -> random.Random:
+        """This process's private randomness stream (e.g. its local coin)."""
+        return self._process.rng_for(self.module_id, *names)
+
+    def now(self) -> float:
+        """Virtual time (measurement only)."""
+        return self._process.network.now()
+
+    def note(self, detail: Any) -> None:
+        """Write an annotation into the simulation trace."""
+        self._process.network.trace_note(self.pid, detail)
+
+
+class ProtocolModule(abc.ABC):
+    """Base class for protocol state machines.
+
+    Subclasses implement :meth:`on_message` and may override
+    :meth:`start`.  Upcalls to the parent layer go through listener
+    callbacks registered with :meth:`subscribe`; a module with multiple
+    event types can pass an event object.
+    """
+
+    def __init__(self, module_id: str):
+        self.module_id = module_id
+        self.ctx: Optional[Context] = None
+        self._listeners: list[Callable[[Any], None]] = []
+
+    def bind(self, ctx: Context) -> None:
+        """Attach the module to its process context (done by Process.add_module)."""
+        self.ctx = ctx
+
+    def subscribe(self, listener: Callable[[Any], None]) -> None:
+        """Register an upcall listener for this module's output events."""
+        self._listeners.append(listener)
+
+    def emit(self, event: Any) -> None:
+        """Deliver an output event to every subscribed listener."""
+        for listener in self._listeners:
+            listener(event)
+
+    def start(self) -> None:
+        """Hook invoked once when the simulation starts (optional)."""
+
+    @abc.abstractmethod
+    def on_message(self, sender: ProcessId, payload: Any) -> None:
+        """Handle a message addressed to this module."""
+
+
+class Process:
+    """A correct process: identity, parameters, and a stack of modules."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        network: "Network",
+        params: ProtocolParams,
+        register: bool = True,
+    ):
+        if not 0 <= pid < params.n:
+            raise SimulationError(f"pid {pid} out of range for n={params.n}")
+        self.pid = pid
+        self.network = network
+        self.params = params
+        self.modules: Dict[str, ProtocolModule] = {}
+        self.halted = False
+        if register:
+            network.register(self)
+
+    # -- wiring ---------------------------------------------------------
+
+    def add_module(self, module: ProtocolModule) -> ProtocolModule:
+        """Install a module and bind its context; returns the module."""
+        if module.module_id in self.modules:
+            raise SimulationError(
+                f"process {self.pid} already has a module {module.module_id!r}"
+            )
+        module.bind(Context(self, module.module_id))
+        self.modules[module.module_id] = module
+        return module
+
+    def module(self, module_id: str) -> ProtocolModule:
+        return self.modules[module_id]
+
+    def rng_for(self, *names: object) -> random.Random:
+        return self.network.rng.stream("process", self.pid, *names)
+
+    # -- simulation interface --------------------------------------------
+
+    @property
+    def is_faulty(self) -> bool:
+        return False
+
+    def start(self) -> None:
+        for module in list(self.modules.values()):
+            module.start()
+
+    def halt(self) -> None:
+        """Stop reacting to messages (graceful protocol termination)."""
+        self.halted = True
+
+    def deliver(self, sender: ProcessId, payload: Any) -> None:
+        """Route an incoming message to the addressed module."""
+        if self.halted:
+            return
+        if not (isinstance(payload, tuple) and len(payload) == 2):
+            raise SimulationError(
+                f"process {self.pid} received unroutable payload {payload!r}"
+            )
+        module_id, inner = payload
+        module = self.modules.get(module_id)
+        if module is None:
+            # A message for a module this process does not run (e.g. sent
+            # by a Byzantine process inventing protocol tags) is ignored,
+            # exactly as an unknown message type would be in a real system.
+            return
+        module.on_message(sender, inner)
+
+    def __repr__(self) -> str:
+        tag = " halted" if self.halted else ""
+        return f"<Process p{self.pid}{tag} modules={sorted(self.modules)}>"

@@ -1,0 +1,62 @@
+"""Seeded, splittable randomness for reproducible simulations.
+
+Every source of randomness in a simulation — the delivery scheduler, each
+process's local coin, each Byzantine behavior — draws from its own named
+stream derived from the master seed.  Splitting streams by *name* rather
+than by draw order means adding a new consumer does not perturb the
+randomness seen by existing ones, so regression tests stay stable as the
+library grows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterator
+
+
+def derive_seed(master: int, *names: object) -> int:
+    """Derive a child seed from ``master`` and a path of names.
+
+    The derivation hashes the textual path with SHA-256, so it is stable
+    across Python versions and processes (unlike ``hash()``).
+    """
+    text = repr((master,) + names).encode()
+    return int.from_bytes(hashlib.sha256(text).digest()[:8], "big")
+
+
+class SplitRng:
+    """A named tree of :class:`random.Random` streams under one master seed.
+
+    >>> rng = SplitRng(42)
+    >>> a = rng.stream("scheduler")
+    >>> b = rng.stream("coin", 3)       # local coin of process 3
+    >>> rng.stream("scheduler") is a    # streams are cached by name
+    True
+    """
+
+    def __init__(self, master_seed: int):
+        self.master_seed = int(master_seed)
+        self._streams: dict[tuple, random.Random] = {}
+
+    def stream(self, *names: object) -> random.Random:
+        """Return (creating if needed) the stream for a name path."""
+        key = tuple(names)
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = random.Random(derive_seed(self.master_seed, *names))
+            self._streams[key] = stream
+        return stream
+
+    def child(self, *names: object) -> "SplitRng":
+        """Return an independent ``SplitRng`` rooted under this one."""
+        return SplitRng(derive_seed(self.master_seed, "child", *names))
+
+    def coin_sequence(self, *names: object) -> Iterator[int]:
+        """Yield an endless stream of unbiased bits from a named stream."""
+        stream = self.stream(*names)
+        while True:
+            yield stream.randrange(2)
+
+    def __repr__(self) -> str:
+        return f"SplitRng(master_seed={self.master_seed})"

@@ -1,0 +1,131 @@
+"""The simulation loop.
+
+A :class:`Simulation` owns the pending-message set, the scheduler, the
+network, metrics, and the trace.  Running proceeds one delivery at a
+time: ask the scheduler for the next envelope, deliver it, repeat — until
+a caller-supplied predicate holds, the system is quiescent (no messages
+in flight), or the step budget runs out.
+
+Fairness guarantee: if the scheduler declines to choose (returns
+``None``) while messages are pending, the runner delivers the oldest
+pending envelope.  Adversarial schedulers can therefore *reorder*
+arbitrarily but never violate eventual delivery, keeping every execution
+admissible in the sense of the asynchronous model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import EventBudgetExceeded, SimulationError
+from .events import PendingSet
+from .metrics import Metrics
+from .network import Network
+from .rng import SplitRng
+from .scheduler import RandomScheduler, Scheduler
+from .trace import NullTrace, Trace
+
+
+class Simulation:
+    """A single seeded execution of a distributed protocol.
+
+    Args:
+        seed: master seed; fixes every random choice in the run.
+        scheduler: delivery scheduler (default :class:`RandomScheduler`).
+        trace: pass ``True`` for a full event trace (default: disabled).
+
+    Typical use::
+
+        sim = Simulation(seed=7)
+        net = sim.network
+        ...build processes against net...
+        sim.start()
+        sim.run(until=lambda: all(p.decided for p in correct))
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        scheduler: Optional[Scheduler] = None,
+        trace: bool | Trace = False,
+    ):
+        self.rng = SplitRng(seed)
+        self.pending = PendingSet()
+        self.scheduler = scheduler if scheduler is not None else RandomScheduler()
+        self.scheduler.attach(self.rng.stream("scheduler"), self.pending)
+        if isinstance(trace, Trace):
+            self.trace = trace
+        else:
+            self.trace = Trace() if trace else NullTrace()
+        self.metrics = Metrics()
+        self.network = Network(self.rng, self.pending, self.metrics, self.trace)
+        self.network.bind_clock(lambda: self.now)
+        self.network.bind_send_hook(self.scheduler.on_send)
+        self.now: float = 0.0
+        self.steps: int = 0
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Invoke ``start()`` on every registered process exactly once."""
+        if self._started:
+            raise SimulationError("simulation already started")
+        self._started = True
+        for pid in sorted(self.network.processes):
+            self.network.processes[pid].start()
+
+    # -- stepping -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Deliver one message.  Returns False when nothing is in flight."""
+        if not self.pending:
+            return False
+        choice = self.scheduler.choose()
+        if choice is None:
+            env = self.pending.peek_oldest()
+            assert env is not None  # pending was non-empty above
+            time = self.now + 1.0
+        else:
+            env, time = choice
+            if env not in self.pending:
+                raise SimulationError(
+                    f"scheduler chose an envelope that is not pending: {env!r}"
+                )
+        self.now = max(self.now, time)
+        self.steps += 1
+        self.trace.advance_step()
+        self.network.deliver(env, self.now)
+        return True
+
+    def run(
+        self,
+        until: Optional[Callable[[], bool]] = None,
+        max_steps: int = 2_000_000,
+    ) -> int:
+        """Deliver messages until ``until()`` holds or quiescence.
+
+        Returns the number of steps executed in this call.  Raises
+        :class:`EventBudgetExceeded` if the budget runs out first —
+        which, for a correct protocol under an admissible scheduler,
+        indicates a livelock and is treated as a test failure.
+        """
+        if not self._started:
+            self.start()
+        executed = 0
+        while True:
+            if until is not None and until():
+                return executed
+            if executed >= max_steps:
+                raise EventBudgetExceeded(self.steps)
+            if not self.step():
+                return executed  # quiescent
+            executed += 1
+
+    def run_to_quiescence(self, max_steps: int = 2_000_000) -> int:
+        """Deliver every message until none are in flight."""
+        return self.run(until=None, max_steps=max_steps)
+
+    @property
+    def quiescent(self) -> bool:
+        return not self.pending

@@ -1,0 +1,93 @@
+"""Execution tracing for debugging and for the example scripts.
+
+A :class:`Trace` records sends, deliveries, and protocol-level annotations
+(round changes, deliveries of broadcast values, decisions).  Traces are
+cheap when disabled (a no-op sink) and render to a readable timeline —
+used by ``examples/liveness_attack.py`` to show the adversary's schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from ..types import Envelope
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timeline entry: what happened, when, to whom."""
+
+    time: float
+    step: int
+    kind: str  # "send" | "deliver" | "note"
+    process: Optional[int]
+    detail: Any
+
+    def render(self) -> str:
+        who = "  *" if self.process is None else f"p{self.process:>2}"
+        return f"[{self.time:>10.3f} #{self.step:>6}] {who} {self.kind:<8} {self.detail}"
+
+
+class Trace:
+    """Append-only event log with optional size cap."""
+
+    def __init__(self, enabled: bool = True, max_records: int = 1_000_000):
+        self.enabled = enabled
+        self.max_records = max_records
+        self.records: list[TraceRecord] = []
+        self._step = 0
+
+    def advance_step(self) -> None:
+        self._step += 1
+
+    def _append(self, record: TraceRecord) -> None:
+        if len(self.records) < self.max_records:
+            self.records.append(record)
+
+    def send(self, time: float, env: Envelope) -> None:
+        if self.enabled:
+            self._append(
+                TraceRecord(time, self._step, "send", env.source, f"-> p{env.dest}: {env.payload!r}")
+            )
+
+    def deliver(self, time: float, env: Envelope) -> None:
+        if self.enabled:
+            self._append(
+                TraceRecord(time, self._step, "deliver", env.dest, f"<- p{env.source}: {env.payload!r}")
+            )
+
+    def note(self, time: float, process: Optional[int], detail: Any) -> None:
+        if self.enabled:
+            self._append(TraceRecord(time, self._step, "note", process, detail))
+
+    def filter(self, kind: Optional[str] = None, process: Optional[int] = None) -> list[TraceRecord]:
+        """Records matching the given kind and/or process."""
+        out = []
+        for rec in self.records:
+            if kind is not None and rec.kind != kind:
+                continue
+            if process is not None and rec.process != process:
+                continue
+            out.append(rec)
+        return out
+
+    def notes(self) -> list[TraceRecord]:
+        return self.filter(kind="note")
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """The trace as a multi-line timeline string."""
+        records: Iterable[TraceRecord] = self.records
+        if limit is not None:
+            records = self.records[-limit:]
+        return "\n".join(rec.render() for rec in records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class NullTrace(Trace):
+    """A disabled trace with zero overhead beyond the call."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False, max_records=0)

@@ -1,0 +1,176 @@
+"""Application layer: ACS, multi-valued consensus, replicated log."""
+
+import pytest
+
+from repro.app import AcsInstance, MultiValueConsensus, ReplicatedLog
+from repro.core.broadcast import BroadcastLayer
+from repro.core.coin import LocalCoin
+from repro.params import for_system
+from repro.sim.process import Process
+from repro.sim.runner import Simulation
+from repro.adversary.behaviors import SilentBehavior
+
+
+def build_acs_system(n, seed, silent=(), epoch=0):
+    sim = Simulation(seed=seed)
+    params = for_system(n)
+    instances = {}
+    for pid in range(n):
+        if pid in silent:
+            sim.network.register(SilentBehavior(pid, sim.network, params))
+            continue
+        process = Process(pid, sim.network, params)
+        rbc = process.add_module(BroadcastLayer())
+        instances[pid] = AcsInstance(
+            process, rbc, coin_factory=lambda j: LocalCoin(salt=("acs", epoch, j)),
+            epoch=epoch,
+        )
+    return sim, instances
+
+
+class TestAcs:
+    @pytest.mark.parametrize("n", [4, 7])
+    def test_all_agree_on_same_subset(self, n):
+        sim, instances = build_acs_system(n, seed=n)
+        sim.start()
+        for pid, acs in instances.items():
+            acs.propose(("tx", pid))
+        sim.run(until=lambda: all(a.done for a in instances.values()),
+                max_steps=2_000_000)
+        outputs = {pid: a.output.proposals for pid, a in instances.items()}
+        first = next(iter(outputs.values()))
+        assert all(o == first for o in outputs.values())
+
+    def test_subset_contains_at_least_n_minus_t(self):
+        sim, instances = build_acs_system(4, seed=5)
+        sim.start()
+        for pid, acs in instances.items():
+            acs.propose(pid)
+        sim.run(until=lambda: all(a.done for a in instances.values()),
+                max_steps=2_000_000)
+        out = next(iter(instances.values())).output
+        assert len(out.proposals) >= 3  # n − t
+
+    def test_silent_proposer_excluded_but_acs_completes(self):
+        sim, instances = build_acs_system(4, seed=7, silent=(3,))
+        sim.start()
+        for pid, acs in instances.items():
+            acs.propose(("tx", pid))
+        sim.run(until=lambda: all(a.done for a in instances.values()),
+                max_steps=2_000_000)
+        out = next(iter(instances.values())).output
+        assert 3 not in out.pids
+        assert len(out.proposals) >= 3
+
+    def test_proposals_are_authentic(self):
+        """Broadcast integrity: each committed payload is its proposer's."""
+        sim, instances = build_acs_system(4, seed=9)
+        sim.start()
+        for pid, acs in instances.items():
+            acs.propose(("tx", pid))
+        sim.run(until=lambda: all(a.done for a in instances.values()),
+                max_steps=2_000_000)
+        out = next(iter(instances.values())).output
+        for pid, payload in out.proposals:
+            assert payload == ("tx", pid)
+
+
+class TestMultiValue:
+    def test_everyone_picks_same_payload(self):
+        sim = Simulation(seed=11)
+        params = for_system(4)
+        instances = []
+        for pid in range(4):
+            process = Process(pid, sim.network, params)
+            rbc = process.add_module(BroadcastLayer())
+            instances.append(
+                MultiValueConsensus(
+                    process, rbc, coin_factory=lambda j: LocalCoin(salt=("mv", j))
+                )
+            )
+        sim.start()
+        for pid, mv in enumerate(instances):
+            mv.propose(f"payload-{pid}")
+        sim.run(until=lambda: all(m.decided for m in instances), max_steps=2_000_000)
+        decisions = {m.decision for m in instances}
+        assert len(decisions) == 1
+        assert decisions.pop().startswith("payload-")
+
+    def test_custom_chooser(self):
+        sim = Simulation(seed=13)
+        params = for_system(4)
+        instances = []
+        chooser = lambda out: max(out.payloads())
+        for pid in range(4):
+            process = Process(pid, sim.network, params)
+            rbc = process.add_module(BroadcastLayer())
+            instances.append(
+                MultiValueConsensus(
+                    process, rbc,
+                    coin_factory=lambda j: LocalCoin(salt=("mv2", j)),
+                    chooser=chooser,
+                )
+            )
+        sim.start()
+        for pid, mv in enumerate(instances):
+            mv.propose(pid * 10)
+        sim.run(until=lambda: all(m.decided for m in instances), max_steps=2_000_000)
+        assert len({m.decision for m in instances}) == 1
+
+
+class TestReplicatedLog:
+    def _build(self, n, seed, batch_size=2):
+        sim = Simulation(seed=seed)
+        params = for_system(n)
+        logs = []
+        for pid in range(n):
+            process = Process(pid, sim.network, params)
+            rbc = process.add_module(BroadcastLayer())
+            logs.append(
+                ReplicatedLog(
+                    process, rbc,
+                    coin_factory_for_epoch=lambda e, j: LocalCoin(salt=("log", e, j)),
+                    batch_size=batch_size,
+                )
+            )
+        return sim, logs
+
+    def test_logs_identical_across_replicas(self):
+        sim, logs = self._build(4, seed=17)
+        for pid, log in enumerate(logs):
+            for i in range(4):
+                log.submit(f"cmd-{pid}-{i}")
+        sim.start()
+        for log in logs:
+            log.start(max_epochs=2)
+        sim.run(until=lambda: all(l.epochs_committed >= 2 for l in logs),
+                max_steps=4_000_000)
+        commands = [l.committed_commands() for l in logs]
+        assert all(c == commands[0] for c in commands)
+        assert len(commands[0]) > 0
+
+    def test_entries_carry_provenance(self):
+        sim, logs = self._build(4, seed=19)
+        for pid, log in enumerate(logs):
+            log.submit(f"only-{pid}")
+        sim.start()
+        for log in logs:
+            log.start(max_epochs=1)
+        sim.run(until=lambda: all(l.epochs_committed >= 1 for l in logs),
+                max_steps=2_000_000)
+        for entry in logs[0].log:
+            assert entry.command == f"only-{entry.proposer}"
+            assert entry.epoch == 0
+
+    def test_ordering_is_pid_then_index(self):
+        sim, logs = self._build(4, seed=23, batch_size=2)
+        for pid, log in enumerate(logs):
+            log.submit((pid, 0))
+            log.submit((pid, 1))
+        sim.start()
+        for log in logs:
+            log.start(max_epochs=1)
+        sim.run(until=lambda: all(l.epochs_committed >= 1 for l in logs),
+                max_steps=2_000_000)
+        committed = logs[0].committed_commands()
+        assert committed == sorted(committed)

@@ -1,0 +1,67 @@
+"""Every example script must run clean — the examples are deliverables.
+
+Each is executed in-process with small arguments (seeds/trials chosen
+for speed); stdout is captured and spot-checked for its headline lines.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv, capsys):
+    path = EXAMPLES / f"{name}.py"
+    old_argv = sys.argv
+    sys.argv = [str(path)] + [str(a) for a in argv]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", [7], capsys)
+        assert "decision:" in out
+        assert "message breakdown" in out
+
+    def test_liveness_attack(self, capsys):
+        out = run_example("liveness_attack", [8], capsys)
+        assert "AGREEMENT VIOLATED" in out or "coin-saved-them" in out
+        assert "pending pool" in out
+
+    def test_replicated_log(self, capsys):
+        out = run_example("replicated_log", [1], capsys)
+        assert "identical" in out
+        assert "all replicas agree" in out
+
+    def test_replicated_log_with_crash(self, capsys):
+        out = run_example("replicated_log", [1, "--crash"], capsys)
+        assert "crashed from the start" in out
+        assert "all replicas agree" in out
+
+    def test_coin_comparison(self, capsys):
+        out = run_example("coin_comparison", [6], capsys)
+        assert "local" in out and "dealer" in out and "shares" in out
+
+    def test_byzantine_gallery(self, capsys):
+        out = run_example("byzantine_gallery", [2], capsys)
+        assert out.count("agreement + validity ok") == 8
+
+    def test_parameter_sweep(self, capsys):
+        out = run_example("parameter_sweep", [2], capsys)
+        assert "cheapest cell" in out
+        assert "zero safety" in out
+
+    @pytest.mark.parametrize(
+        "name", ["quickstart", "liveness_attack", "coin_comparison"]
+    )
+    def test_examples_are_seed_stable(self, name, capsys):
+        first = run_example(name, [3], capsys)
+        second = run_example(name, [3], capsys)
+        assert first == second

@@ -1,0 +1,103 @@
+"""Replicated-log edge cases: empty queues, garbage batches, pacing."""
+
+from repro.app import ReplicatedLog
+from repro.core.broadcast import BroadcastLayer
+from repro.core.coin import LocalCoin
+from repro.params import for_system
+from repro.sim.process import Process
+from repro.sim.runner import Simulation
+from repro.adversary.behaviors import ByzantineBehavior
+
+
+def build_logs(n=4, seed=0, batch_size=2, byzantine=None):
+    sim = Simulation(seed=seed)
+    params = for_system(n)
+    logs = []
+    for pid in range(n):
+        if byzantine is not None and pid == byzantine["pid"]:
+            sim.network.register(byzantine["factory"](pid, sim.network, params))
+            continue
+        process = Process(pid, sim.network, params)
+        rbc = process.add_module(BroadcastLayer())
+        logs.append(
+            ReplicatedLog(
+                process, rbc,
+                coin_factory_for_epoch=lambda e, j: LocalCoin(salt=("edge", e, j)),
+                batch_size=batch_size,
+            )
+        )
+    return sim, logs
+
+
+class TestEmptyBatches:
+    def test_empty_queues_commit_empty_epochs(self):
+        sim, logs = build_logs(seed=1)
+        sim.start()
+        for log in logs:
+            log.start(max_epochs=1)  # nobody submitted anything
+        sim.run(until=lambda: all(l.epochs_committed >= 1 for l in logs),
+                max_steps=4_000_000)
+        assert all(l.committed_commands() == [] for l in logs)
+
+    def test_partial_submission(self):
+        sim, logs = build_logs(seed=2)
+        logs[0].submit("only-command")
+        sim.start()
+        for log in logs:
+            log.start(max_epochs=1)
+        sim.run(until=lambda: all(l.epochs_committed >= 1 for l in logs),
+                max_steps=4_000_000)
+        reference = logs[0].committed_commands()
+        assert all(l.committed_commands() == reference for l in logs)
+        assert reference in ([], ["only-command"])  # p0's batch may miss the cut
+
+    def test_queue_larger_than_batches(self):
+        sim, logs = build_logs(seed=3, batch_size=1)
+        for log in logs:
+            for i in range(5):
+                log.submit(i)
+        sim.start()
+        for log in logs:
+            log.start(max_epochs=2)
+        sim.run(until=lambda: all(l.epochs_committed >= 2 for l in logs),
+                max_steps=6_000_000)
+        # one command per replica per epoch at batch_size=1
+        assert all(len(l.queue) == 3 for l in logs)
+
+
+class _GarbageProposer(ByzantineBehavior):
+    """Runs the honest log stack but proposes a non-tuple batch."""
+
+    def __init__(self, pid, network, params):
+        super().__init__(pid, network, params)
+        from repro.sim.process import Process as _P
+
+        self.inner = _P(pid, network, params, register=False)
+        rbc = self.inner.add_module(BroadcastLayer())
+        self._rbc = rbc
+
+    def start(self) -> None:
+        self.inner.start()
+        # propose garbage into epoch 0 of the log protocol
+        self._rbc.broadcast(("acs-prop", 0, self.pid), "NOT-A-TUPLE")
+
+    def deliver(self, sender, payload):
+        self.inner.deliver(sender, payload)
+
+
+class TestGarbageBatch:
+    def test_non_tuple_batch_is_skipped_not_fatal(self):
+        byzantine = {"pid": 3, "factory": _GarbageProposer}
+        sim, logs = build_logs(seed=4, byzantine=byzantine)
+        for log in logs:
+            log.submit("good")
+        sim.start()
+        for log in logs:
+            log.start(max_epochs=1)
+        sim.run(until=lambda: all(l.epochs_committed >= 1 for l in logs),
+                max_steps=4_000_000)
+        reference = logs[0].committed_commands()
+        assert all(l.committed_commands() == reference for l in logs)
+        assert "NOT-A-TUPLE" not in reference
+        # the garbage proposer contributed no entries
+        assert all(entry.proposer != 3 for l in logs for entry in l.log)

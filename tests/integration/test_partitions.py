@@ -1,0 +1,83 @@
+"""Network partitions: no progress without quorum, no harm either."""
+
+import pytest
+
+from repro import run_consensus
+from repro.adversary import PartitionScheduler
+from repro.analysis.experiments import setup_consensus
+
+
+class TestPartitionThenHeal:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_decisions_only_after_heal(self, seed):
+        """A 2-2 split of n=4 leaves no side with a quorum (3): the run
+        must stall until the merge, then decide normally."""
+        scheduler = PartitionScheduler([0, 1], heal_after=10**9)
+        run = setup_consensus(
+            n=4, proposals=[0, 1, 0, 1], scheduler=scheduler, seed=seed
+        )
+        sim = run.sim
+        sim.start()
+        run.propose_all()
+
+        # Drive the simulation manually and watch for early decisions.
+        while not run.all_decided():
+            decided_now = any(c.decided for c in run.consensus.values())
+            if decided_now:
+                assert scheduler.healed, "a decision happened inside the split"
+            if not sim.step():
+                break
+        assert run.all_decided()
+        assert scheduler.healed
+
+    def test_majority_side_can_decide_during_partition(self):
+        """A 3-1 split keeps a full quorum on one side: the majority side
+        may decide while the minority waits for the merge."""
+        scheduler = PartitionScheduler([0, 1, 2], heal_after=10**9)
+        result = run_consensus(
+            n=4, proposals=[1, 1, 1, 0], scheduler=scheduler, seed=2
+        )
+        assert result.decided_values == {1}
+
+    def test_agreement_across_the_merge(self):
+        """Decisions made by the majority side bind the minority side."""
+        for seed in range(5):
+            scheduler = PartitionScheduler([0, 1, 2], heal_after=10**9)
+            result = run_consensus(
+                n=4, proposals=[0, 1, 0, 1], scheduler=scheduler, seed=seed
+            )
+            assert len(result.decided_values) == 1
+
+    def test_timed_heal(self):
+        scheduler = PartitionScheduler([0, 1], heal_after=50)
+        result = run_consensus(
+            n=4, proposals=[0, 1, 0, 1], scheduler=scheduler, seed=7
+        )
+        assert scheduler.heal_step is not None
+        assert scheduler.heal_step <= 50
+        assert len(result.decided_values) == 1
+
+    def test_partition_with_byzantine_member(self):
+        """The faulty process sits in the minority partition; the
+        majority side must still be safe and live."""
+        scheduler = PartitionScheduler([0, 1, 2], heal_after=10**9)
+        result = run_consensus(
+            n=4, proposals=[1, 1, 1, 0], faults={3: "two_faced"},
+            scheduler=scheduler, seed=4,
+        )
+        assert result.decided_values == {1}
+
+
+class TestPartitionSchedulerUnit:
+    def test_rejects_negative_heal(self):
+        with pytest.raises(ValueError):
+            PartitionScheduler([0], heal_after=-1)
+
+    def test_cross_detection(self):
+        scheduler = PartitionScheduler([0, 1])
+        from repro.types import Envelope
+
+        intra = Envelope(uid=1, source=0, dest=1, payload="m", send_time=0.0)
+        cross = Envelope(uid=2, source=0, dest=2, payload="m", send_time=0.0)
+        assert not scheduler._crosses(intra)
+        assert scheduler._crosses(cross)

@@ -1,0 +1,64 @@
+"""End-to-end ACS properties over random worlds."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.adversary.behaviors import SilentBehavior
+from repro.app import AcsInstance
+from repro.core.broadcast import BroadcastLayer
+from repro.core.coin import LocalCoin
+from repro.params import for_system
+from repro.sim.process import Process
+from repro.sim.runner import Simulation
+
+SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def acs_world(draw):
+    n = 4
+    n_silent = draw(st.integers(min_value=0, max_value=1))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    payload_salt = draw(st.integers(min_value=0, max_value=99))
+    return n, n_silent, seed, payload_salt
+
+
+def run_acs(n, silent_pids, seed, payload_salt):
+    sim = Simulation(seed=seed)
+    params = for_system(n)
+    instances = {}
+    for pid in range(n):
+        if pid in silent_pids:
+            sim.network.register(SilentBehavior(pid, sim.network, params))
+            continue
+        process = Process(pid, sim.network, params)
+        rbc = process.add_module(BroadcastLayer())
+        instances[pid] = AcsInstance(
+            process, rbc,
+            coin_factory=lambda j: LocalCoin(salt=("prop", j)),
+        )
+    sim.start()
+    for pid, acs in instances.items():
+        acs.propose(("tx", payload_salt, pid))
+    sim.run(until=lambda: all(a.done for a in instances.values()),
+            max_steps=4_000_000)
+    return instances
+
+
+@given(acs_world())
+@SLOW
+def test_acs_agreement_and_size(world):
+    n, n_silent, seed, payload_salt = world
+    silent = set(range(n - n_silent, n))
+    instances = run_acs(n, silent, seed, payload_salt)
+    outputs = {a.output.proposals for a in instances.values()}
+    assert len(outputs) == 1, "ACS agreement"
+    subset = outputs.pop()
+    t = (n - 1) // 3
+    assert len(subset) >= n - t, "ACS commits at least n−t proposals"
+    for pid, payload in subset:
+        assert payload == ("tx", payload_salt, pid), "broadcast integrity"
+    assert not (set(pid for pid, _p in subset) & silent) or n_silent == 0

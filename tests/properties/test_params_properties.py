@@ -1,0 +1,86 @@
+"""Property-based checks of the quorum-intersection facts.
+
+These are the combinatorial lemmas the protocol proofs rest on; checking
+them for every (n, t) in range means the threshold *formulas* — not just
+a few handpicked instances — carry the safety argument.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.params import ProtocolParams, max_faults
+
+optimal_params = st.integers(min_value=0, max_value=60).map(
+    lambda t: ProtocolParams(3 * t + 1, t)
+)
+
+any_params = st.integers(min_value=1, max_value=200).flatmap(
+    lambda n: st.integers(min_value=0, max_value=n - 1).map(
+        lambda t: ProtocolParams(n, t)
+    )
+)
+
+
+@given(any_params)
+def test_echo_quorum_consistency(params):
+    """Two echo quorums overlap in more than t processes whenever n > 3t:
+    no two correct processes go READY for different values."""
+    if params.optimal:
+        assert 2 * params.echo_quorum - params.n > params.t
+
+
+@given(any_params)
+def test_echo_quorum_availability(params):
+    """n − t correct processes suffice to form an echo quorum."""
+    if params.optimal:
+        assert params.echo_quorum <= params.n - params.t
+
+
+@given(optimal_params)
+def test_accept_quorum_has_correct_majority(params):
+    """2t+1 READYs contain at least t+1 correct ones, which everyone
+    eventually receives — the totality amplification."""
+    assert params.accept_quorum - params.t >= params.ready_amplify
+
+
+@given(optimal_params)
+def test_step_quorum_intersection_beats_faults(params):
+    """Any two n−t sets overlap in at least t+1 processes."""
+    overlap = 2 * params.step_quorum - params.n
+    assert overlap >= params.t + 1
+
+
+@given(optimal_params)
+def test_decide_overlap_forces_adoption(params):
+    """Any n−t step-3 set holds ≥ t+1 of any 2t+1 decide proposals."""
+    missed = params.n - params.step_quorum
+    assert params.decide_quorum - missed >= params.adopt_threshold
+
+
+@given(optimal_params)
+def test_majority_pairs_intersect(params):
+    """Two >n/2 sender sets intersect: decide proposals are unique."""
+    assert 2 * params.majority > params.n
+
+
+@given(optimal_params)
+def test_majority_reachable_within_step_quorum(params):
+    assert params.majority <= params.step_quorum
+
+
+@given(optimal_params)
+def test_unanimity_is_preserved_arithmetically(params):
+    """If all correct processes hold v, Byzantine step-1 votes (≤ t)
+    cannot reach the step majority, so ¬v never validates."""
+    assert params.t < params.step_majority()
+
+
+@given(st.integers(min_value=1, max_value=500))
+def test_max_faults_is_tight(n):
+    t = max_faults(n)
+    assert n > 3 * t
+    assert n <= 3 * (t + 1)
+
+
+@given(any_params)
+def test_kernel_size_formula(params):
+    assert params.kernel_size() == params.n - 2 * params.t

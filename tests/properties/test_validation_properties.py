@@ -1,0 +1,167 @@
+"""Property-based checks of justification: monotonicity and soundness."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.validation import StepValidator, justify_step
+from repro.params import ProtocolParams
+from repro.types import Step, StepValue
+
+params_strategy = st.integers(min_value=1, max_value=5).map(
+    lambda t: ProtocolParams(3 * t + 1, t)
+)
+
+
+@st.composite
+def message_sets(draw, params=None):
+    """A validated-message dict for one step: pid -> StepValue."""
+    p = params if params is not None else draw(params_strategy)
+    count = draw(st.integers(min_value=0, max_value=p.n))
+    pids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=p.n - 1),
+            min_size=count, max_size=count, unique=True,
+        )
+    )
+    values = {}
+    for pid in pids:
+        bit = draw(st.integers(min_value=0, max_value=1))
+        decide = draw(st.booleans())
+        values[pid] = StepValue(bit, decide)
+    return p, values
+
+
+@given(message_sets(), st.integers(min_value=0, max_value=1), st.booleans(),
+       st.sampled_from([Step.ONE, Step.TWO, Step.THREE]),
+       st.integers(min_value=1, max_value=4))
+@settings(max_examples=200)
+def test_justification_monotone_in_previous_set(config, bit, decide, step, round_):
+    """Adding messages to the previous step never invalidates a value."""
+    params, previous = config
+    value = StepValue(bit, decide)
+    originator = 0
+    before = justify_step(params, round_, step, value, previous, originator)
+    # add one more message from an unused pid (if any remain)
+    unused = [pid for pid in range(params.n) if pid not in previous]
+    if not unused:
+        return
+    grown = dict(previous)
+    grown[unused[0]] = StepValue(1 - bit)
+    after = justify_step(params, round_, step, value, grown, originator)
+    if before:
+        assert after
+
+
+@given(message_sets())
+@settings(max_examples=200)
+def test_decide_proposals_unique_among_justified(config):
+    """If (d,0) and (d,1) were both justified, two >n/2 majorities would
+    coexist — the predicate must never allow that."""
+    params, previous = config
+    d0 = justify_step(params, 1, Step.THREE, StepValue(0, True), previous, 0)
+    d1 = justify_step(params, 1, Step.THREE, StepValue(1, True), previous, 0)
+    assert not (d0 and d1)
+
+
+@given(message_sets())
+@settings(max_examples=200)
+def test_unanimous_previous_blocks_opposite(config):
+    """With a unanimous previous step, the other bit never justifies for
+    step 2 (the unanimity-preservation lemma)."""
+    params, previous = config
+    if len(previous) < params.step_quorum:
+        return
+    unanimous = {pid: StepValue(1) for pid in previous}
+    assert not justify_step(params, 1, Step.TWO, StepValue(0), unanimous, 0)
+    assert justify_step(params, 1, Step.TWO, StepValue(1), unanimous, 0)
+
+
+@given(message_sets())
+@settings(max_examples=150)
+def test_round1_step1_always_plain_justified(config):
+    params, previous = config
+    assert justify_step(params, 1, Step.ONE, StepValue(0), previous, 0)
+    assert justify_step(params, 1, Step.ONE, StepValue(1), previous, 0)
+    assert not justify_step(params, 1, Step.ONE, StepValue(1, True), previous, 0)
+
+
+@st.composite
+def feed_sequences(draw):
+    """A random interleaving of plausible consensus messages."""
+    t = draw(st.integers(min_value=1, max_value=2))
+    params = ProtocolParams(3 * t + 1, t)
+    events = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=3),        # round
+                st.sampled_from([Step.ONE, Step.TWO, Step.THREE]),
+                st.integers(min_value=0, max_value=params.n - 1),
+                st.integers(min_value=0, max_value=1),
+                st.booleans(),
+            ),
+            max_size=60,
+        )
+    )
+    return params, events
+
+
+@given(feed_sequences())
+@settings(max_examples=100)
+def test_validator_never_loses_messages(config):
+    """pending + validated == accepted, for every (round, step)."""
+    params, events = config
+    validator = StepValidator(params)
+    accepted = {}
+    for round_, step, pid, bit, decide in events:
+        key = (round_, step)
+        bucket = accepted.setdefault(key, set())
+        if pid in bucket:
+            continue
+        bucket.add(pid)
+        validator.add(round_, step, pid, StepValue(bit, decide))
+    for (round_, step), pids in accepted.items():
+        total = validator.validated_count(round_, step) + validator.pending_count(
+            round_, step
+        )
+        assert total == len(pids)
+
+
+@given(feed_sequences())
+@settings(max_examples=100)
+def test_validated_set_grows_monotonically(config):
+    """Re-running the fixpoint never shrinks or changes validated sets."""
+    params, events = config
+    validator = StepValidator(params)
+    for round_, step, pid, bit, decide in events:
+        validator.add(round_, step, pid, StepValue(bit, decide))
+    snapshot = {
+        key: dict(validator.validated(key[0], key[1]))
+        for key in [(r, s) for r in (1, 2, 3) for s in (Step.ONE, Step.TWO, Step.THREE)]
+    }
+    validator.revalidate_all()
+    for (round_, step), before in snapshot.items():
+        after = validator.validated(round_, step)
+        for pid, value in before.items():
+            assert after[pid] == value
+
+
+@given(feed_sequences())
+@settings(max_examples=100)
+def test_feed_order_does_not_change_final_validated_sets(config):
+    """Validation is confluent: any arrival order yields the same fixpoint."""
+    params, events = config
+    forward = StepValidator(params)
+    backward = StepValidator(params)
+    seen = set()
+    deduped = []
+    for event in events:
+        key = (event[0], event[1], event[2])
+        if key not in seen:
+            seen.add(key)
+            deduped.append(event)
+    for round_, step, pid, bit, decide in deduped:
+        forward.add(round_, step, pid, StepValue(bit, decide))
+    for round_, step, pid, bit, decide in reversed(deduped):
+        backward.add(round_, step, pid, StepValue(bit, decide))
+    for round_ in (1, 2, 3):
+        for step in (Step.ONE, Step.TWO, Step.THREE):
+            assert forward.validated(round_, step) == backward.validated(round_, step)

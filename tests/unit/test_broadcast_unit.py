@@ -1,0 +1,166 @@
+"""Reliable-broadcast state machine, driven message by message.
+
+n=4, t=1 throughout: echo quorum 3, ready amplification 2, accept 3.
+"""
+
+from repro.core.broadcast import BroadcastLayer, RbcDelivery, RbcMessage
+from repro.types import Phase
+
+from ..conftest import make_member
+
+INSTANCE = ("test", 0)
+
+
+def make_layer(pid=0, n=4, t=1):
+    process, stub = make_member(n=n, t=t, pid=pid)
+    layer = process.add_module(BroadcastLayer())
+    deliveries = []
+    layer.subscribe(deliveries.append)
+    return layer, deliveries, stub
+
+
+def rbc(phase, value="v", originator=1, instance=INSTANCE):
+    return RbcMessage(instance, originator, phase, value)
+
+
+def sent_phases(stub):
+    """Phases of everything broadcast so far, deduplicated per wave."""
+    return [msg.phase for _s, _d, (_m, msg) in stub.sent]
+
+
+class TestInit:
+    def test_originator_init_triggers_echo_wave(self):
+        layer, _dels, stub = make_layer()
+        layer.on_message(1, rbc(Phase.INIT))
+        phases = sent_phases(stub)
+        assert phases.count(Phase.ECHO) == 4  # echo to everyone
+
+    def test_forged_init_ignored(self):
+        """INIT claiming originator 1 but sent by 2 must do nothing."""
+        layer, _dels, stub = make_layer()
+        layer.on_message(2, rbc(Phase.INIT, originator=1))
+        assert stub.sent == []
+
+    def test_second_init_from_equivocator_ignored(self):
+        layer, _dels, stub = make_layer()
+        layer.on_message(1, rbc(Phase.INIT, value="a"))
+        stub.take_sent()
+        layer.on_message(1, rbc(Phase.INIT, value="b"))
+        assert stub.sent == []  # only the first INIT is echoed
+
+    def test_own_broadcast_sends_init_to_all(self):
+        layer, _dels, stub = make_layer(pid=2)
+        layer.broadcast(INSTANCE, "mine")
+        inits = [m for _s, _d, (_mod, m) in stub.sent if m.phase is Phase.INIT]
+        assert len(inits) == 4
+        assert all(m.originator == 2 for m in inits)
+
+
+class TestEchoWave:
+    def test_echo_quorum_triggers_ready(self):
+        layer, _dels, stub = make_layer()
+        for sender in (1, 2):
+            layer.on_message(sender, rbc(Phase.ECHO))
+        assert Phase.READY not in sent_phases(stub)
+        layer.on_message(3, rbc(Phase.ECHO))
+        assert sent_phases(stub).count(Phase.READY) == 4
+
+    def test_echoes_counted_per_value(self):
+        layer, _dels, stub = make_layer()
+        layer.on_message(1, rbc(Phase.ECHO, value="a"))
+        layer.on_message(2, rbc(Phase.ECHO, value="b"))
+        layer.on_message(3, rbc(Phase.ECHO, value="a"))
+        assert Phase.READY not in sent_phases(stub)  # 2 a's + 1 b < 3
+
+    def test_duplicate_echo_from_same_sender_counted_once(self):
+        layer, _dels, stub = make_layer()
+        for _ in range(5):
+            layer.on_message(1, rbc(Phase.ECHO))
+        assert Phase.READY not in sent_phases(stub)
+
+    def test_ready_sent_only_once(self):
+        layer, _dels, stub = make_layer()
+        for sender in (1, 2, 3, 0):
+            layer.on_message(sender, rbc(Phase.ECHO))
+        assert sent_phases(stub).count(Phase.READY) == 4  # one wave, 4 dests
+
+
+class TestReadyWave:
+    def test_ready_amplification_at_t_plus_1(self):
+        layer, _dels, stub = make_layer()
+        layer.on_message(1, rbc(Phase.READY))
+        assert Phase.READY not in sent_phases(stub)
+        layer.on_message(2, rbc(Phase.READY))
+        assert sent_phases(stub).count(Phase.READY) == 4
+
+    def test_accept_at_2t_plus_1(self):
+        layer, deliveries, _stub = make_layer()
+        for sender in (1, 2):
+            layer.on_message(sender, rbc(Phase.READY))
+        assert deliveries == []
+        layer.on_message(3, rbc(Phase.READY))
+        assert deliveries == [RbcDelivery(INSTANCE, 1, "v")]
+
+    def test_accept_only_once(self):
+        layer, deliveries, _stub = make_layer()
+        for sender in (1, 2, 3, 0):
+            layer.on_message(sender, rbc(Phase.READY))
+        assert len(deliveries) == 1
+
+    def test_readies_counted_per_value(self):
+        layer, deliveries, _stub = make_layer()
+        layer.on_message(1, rbc(Phase.READY, value="a"))
+        layer.on_message(2, rbc(Phase.READY, value="b"))
+        layer.on_message(3, rbc(Phase.READY, value="a"))
+        assert deliveries == []  # 2 a's < 3
+
+    def test_accepted_flag(self):
+        layer, _dels, _stub = make_layer()
+        assert not layer.accepted(INSTANCE)
+        for sender in (1, 2, 3):
+            layer.on_message(sender, rbc(Phase.READY))
+        assert layer.accepted(INSTANCE)
+
+
+class TestInstanceIsolation:
+    def test_instances_do_not_mix(self):
+        layer, deliveries, _stub = make_layer()
+        for sender in (1, 2):
+            layer.on_message(sender, rbc(Phase.READY, instance=("a", 1)))
+        layer.on_message(3, rbc(Phase.READY, instance=("b", 2)))
+        assert deliveries == []
+
+    def test_forget_drops_state(self):
+        layer, _dels, _stub = make_layer()
+        layer.on_message(1, rbc(Phase.ECHO))
+        assert layer.open_instances() == 1
+        layer.forget(INSTANCE)
+        assert layer.open_instances() == 0
+
+    def test_garbage_payload_ignored(self):
+        layer, deliveries, stub = make_layer()
+        layer.on_message(1, "garbage")
+        layer.on_message(1, 42)
+        assert deliveries == [] and stub.sent == []
+
+
+class TestThresholdScaling:
+    def test_n7_thresholds(self):
+        """n=7, t=2: echo quorum 5, amplify 3, accept 5."""
+        layer, deliveries, stub = make_layer(n=7, t=2)
+        for sender in (1, 2, 3, 4):
+            layer.on_message(sender, rbc(Phase.ECHO))
+        assert Phase.READY not in sent_phases(stub)
+        layer.on_message(5, rbc(Phase.ECHO))
+        assert Phase.READY in sent_phases(stub)
+        for sender in (1, 2, 3, 4):
+            layer.on_message(sender, rbc(Phase.READY))
+        assert deliveries == []
+        layer.on_message(5, rbc(Phase.READY))
+        assert len(deliveries) == 1
+
+    def test_t0_degenerate(self):
+        """t=0: amplify 1, accept 1 — a single READY decides."""
+        layer, deliveries, _stub = make_layer(n=2, t=0)
+        layer.on_message(1, rbc(Phase.READY))
+        assert len(deliveries) == 1

@@ -1,0 +1,112 @@
+"""Binary-value broadcast state machine (n=4, t=1: amplify 2, deliver 3)."""
+
+from repro.baselines.bv_broadcast import BinaryValueBroadcast, BvDeliver, BvValue
+
+from ..conftest import make_member
+
+
+def make_bv(pid=0, n=4, t=1):
+    process, stub = make_member(n=n, t=t, pid=pid)
+    bv = process.add_module(BinaryValueBroadcast())
+    deliveries = []
+    bv.subscribe(deliveries.append)
+    return bv, deliveries, stub
+
+
+class TestBroadcasting:
+    def test_broadcast_sends_value_to_all(self):
+        bv, _dels, stub = make_bv(pid=2)
+        bv.broadcast(1, 1)
+        assert [d for _s, d, _p in stub.sent] == [0, 1, 2, 3]
+
+    def test_each_bit_sent_once_per_round(self):
+        bv, _dels, stub = make_bv()
+        bv.broadcast(1, 1)
+        bv.broadcast(1, 1)
+        assert len(stub.sent) == 4
+
+    def test_rejects_non_bit(self):
+        bv, _dels, _stub = make_bv()
+        try:
+            bv.broadcast(1, 2)
+            raised = False
+        except ValueError:
+            raised = True
+        assert raised
+
+
+class TestAmplification:
+    def test_t_plus_1_triggers_own_value(self):
+        bv, _dels, stub = make_bv()
+        bv.on_message(1, BvValue(1, 0))
+        assert stub.sent == []
+        bv.on_message(2, BvValue(1, 0))
+        assert len(stub.sent) == 4  # amplified VALUE 0
+
+    def test_duplicate_senders_not_double_counted(self):
+        bv, _dels, stub = make_bv()
+        bv.on_message(1, BvValue(1, 0))
+        bv.on_message(1, BvValue(1, 0))
+        assert stub.sent == []
+
+    def test_no_amplification_across_bits(self):
+        bv, _dels, stub = make_bv()
+        bv.on_message(1, BvValue(1, 0))
+        bv.on_message(2, BvValue(1, 1))
+        assert stub.sent == []
+
+
+class TestDelivery:
+    def test_2t_plus_1_delivers(self):
+        bv, deliveries, _stub = make_bv()
+        for sender in (1, 2, 3):
+            bv.on_message(sender, BvValue(1, 1))
+        assert deliveries == [BvDeliver(1, 1)]
+        assert bv.bin_values(1) == {1}
+
+    def test_delivers_each_bit_once(self):
+        bv, deliveries, _stub = make_bv()
+        for sender in (0, 1, 2, 3):
+            bv.on_message(sender, BvValue(1, 1))
+        assert len(deliveries) == 1
+
+    def test_both_bits_can_deliver(self):
+        bv, deliveries, _stub = make_bv()
+        for sender in (1, 2, 3):
+            bv.on_message(sender, BvValue(1, 1))
+        for sender in (1, 2, 3):
+            bv.on_message(sender, BvValue(1, 0))
+        assert bv.bin_values(1) == {0, 1}
+        assert len(deliveries) == 2
+
+    def test_rounds_isolated(self):
+        bv, deliveries, _stub = make_bv()
+        bv.on_message(1, BvValue(1, 1))
+        bv.on_message(2, BvValue(2, 1))
+        bv.on_message(3, BvValue(3, 1))
+        assert deliveries == []
+
+    def test_bin_values_returns_copy(self):
+        bv, _dels, _stub = make_bv()
+        for sender in (1, 2, 3):
+            bv.on_message(sender, BvValue(1, 1))
+        values = bv.bin_values(1)
+        values.add(0)
+        assert bv.bin_values(1) == {1}
+
+
+class TestDefenses:
+    def test_garbage_ignored(self):
+        bv, deliveries, stub = make_bv()
+        bv.on_message(1, "junk")
+        bv.on_message(1, BvValue(1, 7))
+        bv.on_message(1, BvValue(0, 1))    # round < 1
+        bv.on_message(1, BvValue("x", 1))  # non-int round
+        assert deliveries == [] and stub.sent == []
+
+    def test_byzantine_alone_cannot_force_delivery(self):
+        """One faulty sender (t=1) cannot reach the 2t+1 bar by itself."""
+        bv, deliveries, _stub = make_bv()
+        for _ in range(10):
+            bv.on_message(3, BvValue(1, 0))
+        assert deliveries == []

@@ -1,0 +1,82 @@
+"""CLI smoke and argument-handling tests."""
+
+import pytest
+
+from repro.cli import _parse_faults, _parse_proposals, build_parser, main
+
+
+class TestParsing:
+    def test_fault_specs(self):
+        assert _parse_faults(["3:silent", "2:two_faced"]) == {
+            3: "silent", 2: "two_faced",
+        }
+
+    def test_fault_specs_empty(self):
+        assert _parse_faults(None) == {}
+
+    def test_bad_fault_spec(self):
+        with pytest.raises(SystemExit):
+            _parse_faults(["nope"])
+        with pytest.raises(SystemExit):
+            _parse_faults(["x:silent"])
+
+    def test_proposal_scalar(self):
+        assert _parse_proposals("1", 4) == 1
+
+    def test_proposal_bits(self):
+        assert _parse_proposals("0110", 4) == [0, 1, 1, 0]
+
+    def test_proposal_wrong_length(self):
+        with pytest.raises(SystemExit):
+            _parse_proposals("01", 4)
+
+    def test_proposal_default(self):
+        assert _parse_proposals(None, 4) is None
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_consensus_run(self, capsys):
+        assert main(["consensus", "-n", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "decision" in out and "rounds" in out
+
+    def test_consensus_with_faults_and_scheduler(self, capsys):
+        code = main([
+            "consensus", "-n", "4", "--faults", "3:silent",
+            "--scheduler", "fifo", "--seed", "2",
+        ])
+        assert code == 0
+        assert "3: 'silent'" in capsys.readouterr().out
+
+    def test_consensus_mmr(self, capsys):
+        assert main(["consensus", "--protocol", "mmr14", "--seed", "1"]) == 0
+
+    def test_broadcast(self, capsys):
+        assert main(["broadcast", "-n", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "accepted" in out
+
+    def test_broadcast_equivocate(self, capsys):
+        assert main(["broadcast", "-n", "4", "--equivocate", "--seed", "1"]) == 0
+
+    def test_attack(self, capsys):
+        assert main(["attack", "--trials", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "agreement violations" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "-n", "4", "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "decision round" in out
+
+    def test_config_error_is_reported_not_raised(self, capsys):
+        code = main([
+            "consensus", "-n", "4",
+            "--faults", "2:silent", "3:silent",  # exceeds t=1
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

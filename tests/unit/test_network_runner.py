@@ -1,0 +1,179 @@
+"""Network registration/delivery and the simulation loop."""
+
+import pytest
+
+from repro.errors import EventBudgetExceeded, SimulationError
+from repro.params import ProtocolParams
+from repro.sim.process import Process, ProtocolModule
+from repro.sim.runner import Simulation
+from repro.sim.scheduler import RoundRobinScheduler
+
+
+class Echoer(ProtocolModule):
+    """Replies once to every 'ping' with a 'pong' (for loop tests)."""
+
+    def __init__(self):
+        super().__init__("echo")
+        self.got = []
+
+    def on_message(self, sender, payload):
+        self.got.append((sender, payload))
+        if payload == "ping":
+            self.ctx.send(sender, "pong")
+
+
+def two_process_sim(seed=0, scheduler=None):
+    sim = Simulation(seed=seed, scheduler=scheduler)
+    params = ProtocolParams(2, 0)
+    modules = []
+    for pid in range(2):
+        process = Process(pid, sim.network, params)
+        modules.append(process.add_module(Echoer()))
+    return sim, modules
+
+
+class TestNetwork:
+    def test_double_registration_rejected(self):
+        sim = Simulation()
+        params = ProtocolParams(2, 0)
+        Process(0, sim.network, params)
+        with pytest.raises(SimulationError):
+            Process(0, sim.network, params)
+
+    def test_send_to_unknown_pid_rejected(self):
+        sim, _modules = two_process_sim()
+        with pytest.raises(SimulationError):
+            sim.network.send(0, 5, ("echo", "x"))
+
+    def test_metrics_count_sends_and_deliveries(self):
+        sim, _ = two_process_sim()
+        sim.start()
+        sim.network.send(0, 1, ("echo", "ping"))
+        sim.run_to_quiescence()
+        assert sim.metrics.sent == 2  # ping + pong
+        assert sim.metrics.delivered == 2
+
+    def test_outbound_filter_can_drop(self):
+        sim, modules = two_process_sim()
+        sim.network.outbound_filter = lambda env: env.payload[1] != "pong"
+        sim.start()
+        sim.network.send(0, 1, ("echo", "ping"))
+        sim.run_to_quiescence()
+        assert sim.metrics.dropped == 1
+        assert modules[0].got == []  # the pong never came back
+
+    def test_replace_swaps_implementation(self):
+        sim, _ = two_process_sim()
+
+        class Sink:
+            pid = 1
+
+            def __init__(self):
+                self.seen = []
+
+            def deliver(self, sender, payload):
+                self.seen.append(payload)
+
+            def start(self):
+                pass
+
+        sink = Sink()
+        sim.network.replace(sink)
+        sim.start()
+        sim.network.send(0, 1, ("echo", "ping"))
+        sim.run_to_quiescence()
+        assert sink.seen == [("echo", "ping")]
+
+
+class TestSimulationLoop:
+    def test_step_on_empty_returns_false(self):
+        sim, _ = two_process_sim()
+        sim.start()
+        assert sim.step() is False
+
+    def test_run_until_predicate(self):
+        sim, modules = two_process_sim()
+        sim.start()
+        sim.network.send(0, 1, ("echo", "ping"))
+        sim.run(until=lambda: bool(modules[1].got))
+        assert modules[1].got == [(0, "ping")]
+
+    def test_budget_exhaustion_raises_with_count(self):
+        sim, _ = two_process_sim()
+
+        class Pinger(ProtocolModule):
+            def __init__(self):
+                super().__init__("pinger")
+
+            def on_message(self, sender, payload):
+                self.ctx.send(sender, payload)  # infinite rally
+
+        params = ProtocolParams(2, 0)
+        # fresh sim with rallying processes
+        sim = Simulation()
+        for pid in range(2):
+            Process(pid, sim.network, params).add_module(Pinger())
+        sim.start()
+        sim.network.send(0, 1, ("pinger", "ball"))
+        with pytest.raises(EventBudgetExceeded) as info:
+            sim.run(max_steps=500)
+        assert info.value.steps >= 500
+
+    def test_double_start_rejected(self):
+        sim, _ = two_process_sim()
+        sim.start()
+        with pytest.raises(SimulationError):
+            sim.start()
+
+    def test_auto_start_on_run(self):
+        sim, modules = two_process_sim()
+        sim.network.send(0, 1, ("echo", "ping"))
+        sim.run_to_quiescence()  # run() must start() implicitly
+        assert modules[1].got
+
+    def test_quiescent_property(self):
+        sim, _ = two_process_sim()
+        sim.start()
+        assert sim.quiescent
+        sim.network.send(0, 1, ("echo", "ping"))
+        assert not sim.quiescent
+        sim.run_to_quiescence()
+        assert sim.quiescent
+
+    def test_deterministic_replay_same_seed(self):
+        def transcript(seed):
+            sim, modules = two_process_sim(seed=seed)
+            sim.start()
+            for _ in range(3):
+                sim.network.send(0, 1, ("echo", "ping"))
+                sim.network.send(1, 0, ("echo", "ping"))
+            sim.run_to_quiescence()
+            return [m.got for m in modules], sim.steps
+
+        assert transcript(123) == transcript(123)
+
+    def test_different_seeds_may_differ(self):
+        """Not guaranteed in theory, overwhelmingly likely in practice."""
+
+        def order(seed):
+            sim, modules = two_process_sim(seed=seed)
+            sim.start()
+            for i in range(10):
+                sim.network.send(0, 1, ("echo", f"m{i}"))
+                sim.network.send(1, 0, ("echo", f"m{i}"))
+            sim.run_to_quiescence()
+            return [m.got for m in modules]
+
+        assert any(order(s) != order(0) for s in (1, 2, 3))
+
+    def test_round_robin_scheduler_integrates(self):
+        sim = Simulation(scheduler=RoundRobinScheduler())
+        params = ProtocolParams(2, 0)
+        modules = [
+            Process(pid, sim.network, params).add_module(Echoer())
+            for pid in range(2)
+        ]
+        sim.start()
+        sim.network.send(0, 1, ("echo", "ping"))
+        sim.run_to_quiescence()
+        assert modules[0].got == [(1, "pong")]

@@ -1,0 +1,181 @@
+"""Quorum arithmetic: the thresholds every proof in the paper leans on."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.params import ProtocolParams, for_system, max_faults
+
+
+class TestMaxFaults:
+    def test_smallest_system(self):
+        assert max_faults(1) == 0
+
+    def test_boundary_below_four(self):
+        assert max_faults(2) == 0
+        assert max_faults(3) == 0
+
+    def test_classic_four(self):
+        assert max_faults(4) == 1
+
+    def test_exact_multiples(self):
+        assert max_faults(7) == 2
+        assert max_faults(10) == 3
+        assert max_faults(13) == 4
+
+    def test_between_multiples(self):
+        assert max_faults(5) == 1
+        assert max_faults(6) == 1
+        assert max_faults(8) == 2
+        assert max_faults(9) == 2
+
+    def test_rejects_empty_system(self):
+        with pytest.raises(ConfigError):
+            max_faults(0)
+
+
+class TestConstruction:
+    def test_for_system_defaults_to_max_faults(self):
+        assert for_system(7).t == 2
+
+    def test_for_system_explicit_t(self):
+        assert for_system(7, 1).t == 1
+
+    def test_rejects_negative_t(self):
+        with pytest.raises(ConfigError):
+            ProtocolParams(4, -1)
+
+    def test_rejects_t_equal_n(self):
+        with pytest.raises(ConfigError):
+            ProtocolParams(4, 4)
+
+    def test_rejects_zero_processes(self):
+        with pytest.raises(ConfigError):
+            ProtocolParams(0, 0)
+
+    def test_frozen(self):
+        params = ProtocolParams(4, 1)
+        with pytest.raises(AttributeError):
+            params.n = 5  # type: ignore[misc]
+
+
+class TestResilience:
+    def test_optimal_at_3t_plus_1(self):
+        assert ProtocolParams(4, 1).optimal
+        assert ProtocolParams(7, 2).optimal
+
+    def test_not_optimal_at_3t(self):
+        assert not ProtocolParams(3, 1).optimal
+        assert not ProtocolParams(6, 2).optimal
+
+    def test_require_optimal_passes(self):
+        params = ProtocolParams(4, 1)
+        assert params.require_optimal() is params
+
+    def test_require_optimal_raises(self):
+        with pytest.raises(ConfigError):
+            ProtocolParams(3, 1).require_optimal()
+
+
+class TestBroadcastThresholds:
+    def test_echo_quorum_n4(self):
+        # ceil((4 + 1 + 1) / 2) = 3
+        assert ProtocolParams(4, 1).echo_quorum == 3
+
+    def test_echo_quorum_n7(self):
+        # ceil((7 + 2 + 1) / 2) = 5
+        assert ProtocolParams(7, 2).echo_quorum == 5
+
+    def test_echo_quorum_odd_sum(self):
+        # ceil((5 + 1 + 1) / 2) = 4
+        assert ProtocolParams(5, 1).echo_quorum == 4
+
+    def test_ready_amplify_is_t_plus_1(self):
+        assert ProtocolParams(10, 3).ready_amplify == 4
+
+    def test_accept_quorum_is_2t_plus_1(self):
+        assert ProtocolParams(10, 3).accept_quorum == 7
+
+    def test_two_echo_quorums_intersect_in_correct_process(self):
+        """The consistency fact: 2·echo_quorum − n > t for all optimal n."""
+        for t in range(0, 12):
+            n = 3 * t + 1
+            params = ProtocolParams(n, t)
+            assert 2 * params.echo_quorum - n >= t + 1
+
+    def test_ready_accept_gap(self):
+        """accept (2t+1) minus t faulty still clears amplify (t+1)."""
+        for t in range(0, 12):
+            params = ProtocolParams(3 * t + 1, t)
+            assert params.accept_quorum - t >= params.ready_amplify
+
+
+class TestConsensusThresholds:
+    def test_step_quorum(self):
+        assert ProtocolParams(4, 1).step_quorum == 3
+        assert ProtocolParams(7, 2).step_quorum == 5
+
+    def test_majority(self):
+        assert ProtocolParams(4, 1).majority == 3
+        assert ProtocolParams(7, 2).majority == 4
+
+    def test_decide_quorum(self):
+        assert ProtocolParams(7, 2).decide_quorum == 5
+
+    def test_adopt_threshold(self):
+        assert ProtocolParams(7, 2).adopt_threshold == 3
+
+    def test_step_majority_odd_quorum(self):
+        # n−t = 2t+1 is odd at optimal resilience: strict majority = t+1
+        for t in range(0, 12):
+            params = ProtocolParams(3 * t + 1, t)
+            assert params.step_majority() == t + 1
+
+    def test_step_quorum_reachable_by_correct_alone(self):
+        """n−t correct processes exist, so waiting for n−t cannot block."""
+        for t in range(0, 12):
+            params = ProtocolParams(3 * t + 1, t)
+            assert params.n - t >= params.step_quorum
+
+    def test_majority_within_step_quorum(self):
+        """A >n/2 majority must be collectible among n−t messages."""
+        for t in range(0, 12):
+            params = ProtocolParams(3 * t + 1, t)
+            assert params.majority <= params.step_quorum
+
+    def test_decide_quorum_within_step_quorum(self):
+        for t in range(0, 12):
+            params = ProtocolParams(3 * t + 1, t)
+            assert params.decide_quorum <= params.step_quorum
+
+
+class TestIntersectionFacts:
+    def test_kernel_size(self):
+        assert ProtocolParams(7, 2).kernel_size() == 3
+
+    def test_two_step_quorums_share_a_correct_process(self):
+        """|Q1 ∩ Q2| ≥ n − 2t ≥ t+1 at optimal resilience."""
+        for t in range(0, 12):
+            params = ProtocolParams(3 * t + 1, t)
+            assert params.kernel_size() >= t + 1
+
+    def test_decide_quorum_overlap_forces_adoption(self):
+        """Any n−t step-3 set misses only t processes, so it contains at
+        least t+1 of any 2t+1 decide proposals."""
+        for t in range(0, 12):
+            params = ProtocolParams(3 * t + 1, t)
+            overlap = params.decide_quorum - (params.n - params.step_quorum)
+            assert overlap >= params.adopt_threshold
+
+    def test_two_majorities_intersect(self):
+        """Two >n/2 sender sets share a process — decide-proposal
+        uniqueness."""
+        for n in range(1, 40):
+            params = ProtocolParams(n, max_faults(n))
+            assert 2 * params.majority > params.n
+
+
+class TestDescribe:
+    def test_describe_mentions_all_thresholds(self):
+        text = ProtocolParams(7, 2).describe()
+        for token in ("n=7", "t=2", "5", "4", "3"):
+            assert token in text

@@ -1,0 +1,68 @@
+"""Seeded randomness: stability, independence, and stream isolation."""
+
+from repro.sim.rng import SplitRng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_sensitive_to_master(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_sensitive_to_path(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_sensitive_to_path_order(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_name_types_distinguished(self):
+        # ("1",) and (1,) must not collide: repr-based hashing
+        assert derive_seed(0, "1") != derive_seed(0, 1)
+
+
+class TestSplitRng:
+    def test_same_name_returns_same_stream(self):
+        rng = SplitRng(0)
+        assert rng.stream("x") is rng.stream("x")
+
+    def test_different_names_different_streams(self):
+        rng = SplitRng(0)
+        assert rng.stream("x") is not rng.stream("y")
+
+    def test_reproducible_across_instances(self):
+        a = SplitRng(42).stream("sched")
+        b = SplitRng(42).stream("sched")
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_streams_independent_of_creation_order(self):
+        """Adding a new consumer must not shift existing streams."""
+        lone = SplitRng(7)
+        seq_lone = [lone.stream("coin", 0).random() for _ in range(10)]
+
+        crowded = SplitRng(7)
+        crowded.stream("scheduler").random()  # an extra consumer first
+        seq_crowded = [crowded.stream("coin", 0).random() for _ in range(10)]
+        assert seq_lone == seq_crowded
+
+    def test_child_is_independent(self):
+        parent = SplitRng(3)
+        child = parent.child("sub")
+        assert child.master_seed != parent.master_seed
+        assert child.stream("x").random() != parent.stream("x").random()
+
+    def test_child_deterministic(self):
+        assert (
+            SplitRng(3).child("sub").master_seed
+            == SplitRng(3).child("sub").master_seed
+        )
+
+    def test_coin_sequence_unbiased_roughly(self):
+        bits = SplitRng(11).coin_sequence("c")
+        sample = [next(bits) for _ in range(2000)]
+        ones = sum(sample)
+        assert 800 < ones < 1200  # ~6 sigma around 1000
+
+    def test_coin_sequence_only_bits(self):
+        bits = SplitRng(5).coin_sequence("c")
+        assert set(next(bits) for _ in range(100)) <= {0, 1}

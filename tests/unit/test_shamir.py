@@ -1,0 +1,89 @@
+"""Shamir secret sharing over GF(2^61 − 1)."""
+
+from random import Random
+
+import pytest
+
+from repro.crypto.shamir import PRIME, Share, recover_secret, share_secret
+
+
+class TestSharing:
+    def test_round_trip_exact_threshold(self):
+        rng = Random(1)
+        shares = share_secret(12345, k=3, xs=[1, 2, 3, 4], rng=rng)
+        assert recover_secret(shares[:3]) == 12345
+
+    def test_round_trip_any_subset(self):
+        rng = Random(2)
+        shares = share_secret(999, k=2, xs=[1, 2, 3, 4, 5], rng=rng)
+        for subset in ([shares[0], shares[4]], [shares[2], shares[3]], shares[1:3]):
+            assert recover_secret(subset) == 999
+
+    def test_more_than_threshold_also_works(self):
+        rng = Random(3)
+        shares = share_secret(42, k=2, xs=[1, 2, 3], rng=rng)
+        assert recover_secret(shares) == 42
+
+    def test_threshold_one_is_replication(self):
+        rng = Random(4)
+        shares = share_secret(7, k=1, xs=[1, 2], rng=rng)
+        assert all(s.y == 7 for s in shares)
+
+    def test_secret_zero(self):
+        rng = Random(5)
+        shares = share_secret(0, k=2, xs=[1, 2], rng=rng)
+        assert recover_secret(shares) == 0
+
+    def test_secret_near_prime(self):
+        rng = Random(6)
+        secret = PRIME - 1
+        shares = share_secret(secret, k=2, xs=[1, 2], rng=rng)
+        assert recover_secret(shares) == secret
+
+
+class TestRejections:
+    def test_zero_evaluation_point_rejected(self):
+        with pytest.raises(ValueError):
+            share_secret(1, k=1, xs=[0, 1], rng=Random(0))
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError):
+            share_secret(1, k=1, xs=[1, 1], rng=Random(0))
+
+    def test_out_of_field_secret_rejected(self):
+        with pytest.raises(ValueError):
+            share_secret(PRIME, k=1, xs=[1], rng=Random(0))
+
+    def test_zero_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            share_secret(1, k=0, xs=[1], rng=Random(0))
+
+    def test_recover_empty_rejected(self):
+        with pytest.raises(ValueError):
+            recover_secret([])
+
+    def test_recover_duplicate_points_rejected(self):
+        with pytest.raises(ValueError):
+            recover_secret([Share(1, 5), Share(1, 6)])
+
+
+class TestSecrecy:
+    def test_below_threshold_shares_are_consistent_with_any_secret(self):
+        """k−1 shares fit a degree-(k−1) polynomial for *every* secret —
+        the information-theoretic hiding property, checked constructively."""
+        rng = Random(7)
+        shares = share_secret(1000, k=2, xs=[1, 2], rng=rng)
+        one_share = shares[0]
+        # For any candidate secret s, the line through (0, s) and share
+        # exists; so one share reveals nothing.  Construct two candidates:
+        for candidate in (0, 55555):
+            slope = ((one_share.y - candidate) * pow(one_share.x, PRIME - 2, PRIME)) % PRIME
+            reconstructed = (candidate + slope * one_share.x) % PRIME
+            assert reconstructed == one_share.y
+
+    def test_wrong_share_corrupts_secret(self):
+        """Why the dealer must authenticate shares."""
+        rng = Random(8)
+        shares = share_secret(321, k=2, xs=[1, 2, 3], rng=rng)
+        forged = [shares[0], Share(shares[1].x, (shares[1].y + 1) % PRIME)]
+        assert recover_secret(forged) != 321

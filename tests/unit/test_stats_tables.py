@@ -1,0 +1,141 @@
+"""Statistics toolkit and table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import fit_power_law, histogram, percentile, summarize
+from repro.analysis.tables import format_table
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        values = [5, 1, 9]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_single_value(self):
+        assert percentile([7], 90) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 120)
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        s = summarize([2.0, 4.0, 6.0])
+        assert s.count == 3
+        assert s.mean == 4.0
+        assert s.minimum == 2.0 and s.maximum == 6.0
+        assert s.p50 == 4.0
+
+    def test_stddev_sample(self):
+        s = summarize([2.0, 4.0])
+        assert math.isclose(s.stddev, math.sqrt(2.0))
+
+    def test_single_value_no_ci(self):
+        s = summarize([5.0])
+        assert s.stddev == 0.0 and s.ci95_half_width == 0.0
+
+    def test_ci_shrinks_with_n(self):
+        narrow = summarize([1.0, 2.0] * 50)
+        wide = summarize([1.0, 2.0] * 2)
+        assert narrow.ci95_half_width < wide.ci95_half_width
+
+    def test_ci_bounds(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        low, high = s.ci()
+        assert low < s.mean < high
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_renders(self):
+        assert "±" in str(summarize([1.0, 2.0]))
+
+
+class TestPowerLaw:
+    def test_exact_quadratic(self):
+        xs = [2, 4, 8, 16]
+        ys = [x**2 for x in xs]
+        k, c = fit_power_law(xs, ys)
+        assert math.isclose(k, 2.0, abs_tol=1e-9)
+        assert math.isclose(c, 1.0, abs_tol=1e-9)
+
+    def test_exact_cubic_with_constant(self):
+        xs = [3, 6, 12]
+        ys = [5 * x**3 for x in xs]
+        k, c = fit_power_law(xs, ys)
+        assert math.isclose(k, 3.0, abs_tol=1e-9)
+        assert math.isclose(c, 5.0, rel_tol=1e-9)
+
+    def test_noisy_data_near_truth(self):
+        xs = [4, 7, 10, 13, 16]
+        ys = [2.1 * x**2.0 * f for x, f in zip(xs, (1.05, 0.97, 1.02, 0.99, 1.01))]
+        k, _c = fit_power_law(xs, ys)
+        assert 1.9 < k < 2.1
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([0, 1], [1, 2])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+
+    def test_rejects_constant_x(self):
+        with pytest.raises(ValueError):
+            fit_power_law([2, 2], [1, 3])
+
+
+class TestHistogram:
+    def test_counts(self):
+        assert histogram([1, 1, 2, 3, 3, 3]) == {1: 2, 2: 1, 3: 3}
+
+    def test_sorted_keys(self):
+        assert list(histogram([5, 1, 3]).keys()) == [1, 3, 5]
+
+    def test_empty(self):
+        assert histogram([]) == {}
+
+
+class TestFormatTable:
+    def test_plain_layout(self):
+        text = format_table(["n", "msgs"], [[4, 36], [7, 105]])
+        lines = text.splitlines()
+        assert "n" in lines[0] and "msgs" in lines[0]
+        assert "36" in text and "105" in text
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="T1: broadcast")
+        assert text.startswith("T1: broadcast")
+
+    def test_markdown_mode(self):
+        text = format_table(["a", "b"], [[1, 2]], markdown=True)
+        assert text.splitlines()[0].startswith("|")
+        assert "---" in text.splitlines()[1]
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159], [12345.6], [0.0]])
+        assert "3.142" in text
+        assert "12,346" in text
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])

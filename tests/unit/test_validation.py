@@ -1,0 +1,204 @@
+"""Justification predicates and the StepValidator fixpoint.
+
+All with n=4, t=1: step quorum 3, step majority 2, global majority 3,
+adopt threshold 2, decide quorum 3.
+"""
+
+from repro.params import ProtocolParams
+from repro.core.validation import StepValidator, justify_step
+from repro.types import Step, StepValue
+
+
+P = ProtocolParams(4, 1)
+
+
+def messages(*pairs):
+    """{pid: StepValue} from (pid, bit) or (pid, bit, decide) tuples."""
+    out = {}
+    for pair in pairs:
+        if len(pair) == 2:
+            pid, bit = pair
+            out[pid] = StepValue(bit)
+        else:
+            pid, bit, decide = pair
+            out[pid] = StepValue(bit, decide)
+    return out
+
+
+class TestRound1Step1:
+    def test_any_bit_justified(self):
+        assert justify_step(P, 1, Step.ONE, StepValue(0), {})
+        assert justify_step(P, 1, Step.ONE, StepValue(1), {})
+
+    def test_decide_mark_never_justified_in_step1(self):
+        assert not justify_step(P, 1, Step.ONE, StepValue(1, decide=True), {})
+
+
+class TestStep2:
+    def test_needs_step_quorum_of_previous(self):
+        prev = messages((0, 1), (1, 1))
+        assert not justify_step(P, 1, Step.TWO, StepValue(1), prev)
+
+    def test_majority_achievable(self):
+        prev = messages((0, 1), (1, 1), (2, 0))
+        assert justify_step(P, 1, Step.TWO, StepValue(1), prev)
+
+    def test_minority_not_achievable(self):
+        prev = messages((0, 1), (1, 1), (2, 0))
+        # only one 0 among three: a 3-subset can hold at most one 0 < 2
+        assert not justify_step(P, 1, Step.TWO, StepValue(0), prev)
+
+    def test_minority_becomes_achievable_with_more_messages(self):
+        prev = messages((0, 1), (1, 1), (2, 0), (3, 0))
+        # now {2,3,x} holds two 0's: majority of a 3-subset
+        assert justify_step(P, 1, Step.TWO, StepValue(0), prev)
+        assert justify_step(P, 1, Step.TWO, StepValue(1), prev)
+
+    def test_decide_mark_never_justified_in_step2(self):
+        prev = messages((0, 1), (1, 1), (2, 1))
+        assert not justify_step(P, 1, Step.TWO, StepValue(1, decide=True), prev)
+
+
+class TestStep3:
+    def test_decide_proposal_needs_global_majority(self):
+        prev = messages((0, 1), (1, 1), (2, 0))
+        # 2 ones < majority 3
+        assert not justify_step(P, 1, Step.THREE, StepValue(1, decide=True), prev)
+
+    def test_decide_proposal_with_global_majority(self):
+        prev = messages((0, 1), (1, 1), (2, 1))
+        assert justify_step(P, 1, Step.THREE, StepValue(1, decide=True), prev)
+
+    def test_plain_step3_requires_sender_consistency(self):
+        """A plain step-3 value must equal the sender's own step-2 value."""
+        prev = messages((0, 1), (1, 1), (2, 0))
+        assert justify_step(P, 1, Step.THREE, StepValue(1), prev, originator=0)
+        assert not justify_step(P, 1, Step.THREE, StepValue(0), prev, originator=0)
+        assert justify_step(P, 1, Step.THREE, StepValue(0), prev, originator=2)
+
+    def test_plain_step3_unknown_sender_pending(self):
+        """No step-2 message from the sender yet → not justified (yet)."""
+        prev = messages((0, 1), (1, 1), (2, 0))
+        assert not justify_step(P, 1, Step.THREE, StepValue(1), prev, originator=3)
+        assert not justify_step(P, 1, Step.THREE, StepValue(1), prev)
+
+    def test_unanimity_blocks_conflicting_decide(self):
+        """The decide-proposal uniqueness fact at the predicate level."""
+        prev = messages((0, 1), (1, 1), (2, 1), (3, 0))
+        assert justify_step(P, 1, Step.THREE, StepValue(1, decide=True), prev)
+        assert not justify_step(P, 1, Step.THREE, StepValue(0, decide=True), prev)
+
+
+class TestRoundEntry:
+    def test_needs_step_quorum(self):
+        prev = messages((0, 1, True), (1, 1, True))
+        assert not justify_step(P, 2, Step.ONE, StepValue(1), prev)
+
+    def test_adopt_branch(self):
+        prev = messages((0, 1, True), (1, 1, True), (2, 0))
+        assert justify_step(P, 2, Step.ONE, StepValue(1), prev)
+
+    def test_coin_branch_allows_any_bit(self):
+        prev = messages((0, 1), (1, 0), (2, 1))  # no decide proposals at all
+        assert justify_step(P, 2, Step.ONE, StepValue(0), prev)
+        assert justify_step(P, 2, Step.ONE, StepValue(1), prev)
+
+    def test_coin_branch_with_few_proposals(self):
+        # one (d,1) among four: a 3-subset with ≤1 proposal exists → coin ok
+        prev = messages((0, 1, True), (1, 0), (2, 1), (3, 0))
+        assert justify_step(P, 2, Step.ONE, StepValue(0), prev)
+
+    def test_decided_round_blocks_opposite_entry(self):
+        """After a 2t+1 decide wave, ¬v cannot enter the next round."""
+        prev = messages((0, 1, True), (1, 1, True), (2, 1, True), (3, 0))
+        assert justify_step(P, 2, Step.ONE, StepValue(1), prev)
+        # 0-entry would need a 3-subset with ≤1 proposals: only one plain
+        # message exists, so every 3-subset has ≥2 proposals → adopt-1 only.
+        assert not justify_step(P, 2, Step.ONE, StepValue(0), prev)
+
+    def test_round_entry_decide_mark_rejected(self):
+        prev = messages((0, 1, True), (1, 1, True), (2, 1, True))
+        assert not justify_step(P, 2, Step.ONE, StepValue(1, decide=True), prev)
+
+
+class TestStepValidator:
+    def test_round1_step1_validates_immediately(self):
+        validator = StepValidator(P)
+        changed = validator.add(1, Step.ONE, 0, StepValue(1))
+        assert (1, Step.ONE) in changed
+        assert validator.validated_count(1, Step.ONE) == 1
+
+    def test_step2_waits_for_quorum(self):
+        validator = StepValidator(P)
+        validator.add(1, Step.TWO, 0, StepValue(1))
+        assert validator.validated_count(1, Step.TWO) == 0
+        assert validator.pending_count(1, Step.TWO) == 1
+
+    def test_step2_validates_after_step1_quorum(self):
+        validator = StepValidator(P)
+        validator.add(1, Step.TWO, 3, StepValue(1))
+        for pid in range(3):
+            validator.add(1, Step.ONE, pid, StepValue(1))
+        assert validator.validated_count(1, Step.TWO) == 1
+        assert validator.pending_count(1, Step.TWO) == 0
+
+    def test_chained_validation_cascades(self):
+        """One step-1 arrival can unlock step 2, then step 3, then round 2."""
+        validator = StepValidator(P)
+        validator.add(2, Step.ONE, 0, StepValue(1))        # round-2 entry, pending
+        validator.add(1, Step.THREE, 0, StepValue(1, True))
+        validator.add(1, Step.THREE, 1, StepValue(1, True))
+        validator.add(1, Step.THREE, 2, StepValue(1, True))  # pending: needs (1,2)
+        validator.add(1, Step.TWO, 0, StepValue(1))
+        validator.add(1, Step.TWO, 1, StepValue(1))
+        validator.add(1, Step.TWO, 2, StepValue(1))          # pending: needs (1,1)
+        assert validator.validated_count(2, Step.ONE) == 0
+        for pid in range(3):
+            validator.add(1, Step.ONE, pid, StepValue(1))
+        # everything unlocks transitively
+        assert validator.validated_count(1, Step.TWO) == 3
+        assert validator.validated_count(1, Step.THREE) == 3
+        assert validator.validated_count(2, Step.ONE) == 1
+
+    def test_duplicate_originator_ignored(self):
+        validator = StepValidator(P)
+        validator.add(1, Step.ONE, 0, StepValue(1))
+        changed = validator.add(1, Step.ONE, 0, StepValue(0))
+        assert changed == []
+        assert validator.validated(1, Step.ONE)[0] == StepValue(1)
+
+    def test_decide_support_counts(self):
+        validator = StepValidator(P)
+        for pid in range(3):
+            validator.add(1, Step.TWO, pid, StepValue(1))
+        for pid in range(3):
+            validator.add(1, Step.ONE, pid, StepValue(1))
+        validator.add(1, Step.THREE, 0, StepValue(1, decide=True))
+        validator.add(1, Step.THREE, 1, StepValue(1, decide=True))
+        assert validator.decide_support(1) == {0: 0, 1: 2}
+
+    def test_unjustified_stays_pending_forever(self):
+        """A Byzantine (d,0) in a 1-unanimous round never validates."""
+        validator = StepValidator(P)
+        for pid in range(4):
+            validator.add(1, Step.ONE, pid, StepValue(1))
+        for pid in range(3):
+            validator.add(1, Step.TWO, pid, StepValue(1))
+        validator.add(1, Step.THREE, 3, StepValue(0, decide=True))
+        assert validator.pending_count(1, Step.THREE) == 1
+        assert validator.validated_count(1, Step.THREE) == 0
+
+    def test_rounds_seen(self):
+        validator = StepValidator(P)
+        validator.add(1, Step.ONE, 0, StepValue(1))
+        validator.add(3, Step.TWO, 0, StepValue(1))
+        assert list(validator.rounds_seen()) == [1, 3]
+
+    def test_revalidate_all_idempotent(self):
+        validator = StepValidator(P)
+        for pid in range(3):
+            validator.add(1, Step.ONE, pid, StepValue(1))
+        validator.add(1, Step.TWO, 0, StepValue(1))
+        before = validator.validated_count(1, Step.TWO)
+        assert validator.revalidate_all() == []
+        assert validator.validated_count(1, Step.TWO) == before
