@@ -1,0 +1,119 @@
+"""R1 — Runtime fabrics: simulator vs asyncio-local vs TCP throughput.
+
+The runtime subsystem's claim: the same protocol stacks run unmodified
+over real concurrent transports, and the in-process asyncio fabric is
+fast enough to use as a development loop.  Regenerates: wall time and
+message cost per decision for each fabric across system sizes, plus the
+batching effect of running many consensus instances over one shared
+broadcast layer (the shape ACS and later batching work rely on).
+
+Run with ``--smoke`` for the CI-sized subset.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro import run_consensus
+from repro.analysis.tables import format_table
+from repro.runtime import run_cluster_sync
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return (time.perf_counter() - start) * 1000.0, result
+
+
+def test_r1_fabric_comparison(benchmark, table_sink, smoke):
+    sizes = [4] if smoke else [4, 7, 10]
+    trials = 1 if smoke else 3
+
+    def experiment():
+        rows = []
+        for n in sizes:
+            for fabric in ("simulator", "asyncio", "tcp"):
+                total_ms = 0.0
+                messages = 0
+                for trial in range(trials):
+                    seed = 100 * n + trial
+                    if fabric == "simulator":
+                        ms, result = _timed(
+                            lambda: run_consensus(n=n, proposals=1, seed=seed)
+                        )
+                    else:
+                        transport = "local" if fabric == "asyncio" else "tcp"
+                        ms, result = _timed(
+                            lambda: run_cluster_sync(
+                                n, proposals=1, seed=seed,
+                                transport=transport, timeout=60.0,
+                            )
+                        )
+                    assert result.decided_values == {1}
+                    total_ms += ms
+                    messages += result.messages_sent
+                rows.append(
+                    [n, fabric, round(total_ms / trials, 2),
+                     messages // trials]
+                )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table_sink(
+        "r1_fabric_comparison",
+        format_table(
+            ["n", "fabric", "ms/decision", "messages"],
+            rows,
+            title="R1a. One unanimous Bracha decision per fabric "
+                  f"({'smoke' if smoke else 'full'} mode)",
+        ),
+    )
+    # Every fabric must complete; relative speed is reported, not asserted
+    # (CI machines vary), except that the simulator result must exist for
+    # every size the runtime ran.
+    fabrics_per_n = {n: {row[1] for row in rows if row[0] == n} for n in sizes}
+    assert all(
+        fabrics == {"simulator", "asyncio", "tcp"}
+        for fabrics in fabrics_per_n.values()
+    )
+
+
+def test_r1_instance_batching(benchmark, table_sink, smoke):
+    batches = [1, 4] if smoke else [1, 2, 4, 8, 16]
+    n = 4
+
+    def experiment():
+        rows = []
+        for instances in batches:
+            ms, result = _timed(
+                lambda: run_cluster_sync(
+                    n, proposals=1, seed=7, transport="local",
+                    instances=instances, timeout=120.0,
+                )
+            )
+            decisions = instances * n
+            rows.append([
+                instances,
+                round(ms, 2),
+                round(ms / instances, 2),
+                result.messages_sent,
+                round(result.messages_sent / instances),
+            ])
+            assert result.decided_values == {1}
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    table_sink(
+        "r1_instance_batching",
+        format_table(
+            ["instances", "ms total", "ms/instance", "messages", "msgs/instance"],
+            rows,
+            title="R1b. Parallel Bracha instances over one shared RBC layer "
+                  "(asyncio-local, n=4)",
+        ),
+    )
+    # Batching must amortize: per-instance wall time should not grow
+    # linearly with the batch — allow generous slack for CI noise.
+    per_instance = {row[0]: row[2] for row in rows}
+    largest = max(batches)
+    assert per_instance[largest] < per_instance[1] * 2.0

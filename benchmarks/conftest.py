@@ -20,6 +20,12 @@ OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 
 @pytest.fixture
+def smoke(request):
+    """True when ``--smoke`` was passed: shrink sizes/trials for CI."""
+    return bool(request.config.getoption("--smoke"))
+
+
+@pytest.fixture
 def table_sink():
     """Callable(name, text): print a table and persist it under out/."""
 

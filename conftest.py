@@ -1,0 +1,15 @@
+"""Repo-level pytest configuration.
+
+Defines the ``--smoke`` flag used by the benchmarks: CI runs a fast
+subset of each benchmark (small systems, few trials) to catch breakage
+without paying for the full paper-scale sweeps.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run benchmarks on reduced sizes/trials (CI smoke mode)",
+    )

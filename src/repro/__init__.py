@@ -6,8 +6,10 @@ stands on: reliable broadcast, message validation, local and common
 coins (including a real dealer-shared Shamir coin), a deterministic
 discrete-event network simulator with adversarial schedulers, Byzantine
 fault behaviors, baseline protocols (Ben-Or 1983, Rabin-style common
-coin, an MMR-2014-style ABA), and applications (asynchronous common
-subset, replicated log).
+coin, an MMR-2014-style ABA), applications (asynchronous common
+subset, replicated log), and an asyncio runtime that executes the same
+protocol stacks concurrently over in-process queues or authenticated
+JSON-over-TCP (:mod:`repro.runtime`).
 
 Quickstart::
 
@@ -38,6 +40,7 @@ from .errors import (
     ValidityViolation,
 )
 from .params import ProtocolParams, for_system, max_faults
+from .runtime import Cluster, run_cluster, run_cluster_sync
 from .sim.runner import Simulation
 from .types import RunResult, StepValue
 
@@ -56,6 +59,7 @@ __all__ = [
     "RbcDelivery",
     "RbcMessage",
     "ReproError",
+    "Cluster",
     "RunResult",
     "SafetyViolation",
     "ShareCoinProvider",
@@ -67,6 +71,8 @@ __all__ = [
     "max_faults",
     "repeat_consensus",
     "run_broadcast",
+    "run_cluster",
+    "run_cluster_sync",
     "run_consensus",
     "setup_consensus",
 ]

@@ -21,7 +21,7 @@ import random
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from ..params import ProtocolParams
-from ..sim.network import Network
+from ..sim.network import NetworkAPI
 from ..sim.process import Process
 from ..types import Phase, ProcessId
 
@@ -36,7 +36,7 @@ class ByzantineBehavior:
     time zero); subclasses override :meth:`deliver` and :meth:`start`.
     """
 
-    def __init__(self, pid: ProcessId, network: Network, params: ProtocolParams):
+    def __init__(self, pid: ProcessId, network: NetworkAPI, params: ProtocolParams):
         self.pid = pid
         self.network = network
         self.params = params
@@ -80,7 +80,7 @@ class CrashBehavior(ByzantineBehavior):
     def __init__(
         self,
         pid: ProcessId,
-        network: Network,
+        network: NetworkAPI,
         params: ProtocolParams,
         factory: ProcessFactory,
         crash_after: int = 0,
@@ -114,7 +114,7 @@ class _FaceNet:
     else to the real network.
     """
 
-    def __init__(self, real: Network, allowed: frozenset[ProcessId], face: str):
+    def __init__(self, real: NetworkAPI, allowed: frozenset[ProcessId], face: str):
         self._real = real
         self._allowed = allowed
         self._face = face
@@ -153,7 +153,7 @@ class TwoFacedBehavior(ByzantineBehavior):
     def __init__(
         self,
         pid: ProcessId,
-        network: Network,
+        network: NetworkAPI,
         params: ProtocolParams,
         factory_a: ProcessFactory,
         factory_b: ProcessFactory,
@@ -189,7 +189,7 @@ class EquivocatingBroadcaster(ByzantineBehavior):
     def __init__(
         self,
         pid: ProcessId,
-        network: Network,
+        network: NetworkAPI,
         params: ProtocolParams,
         instance: Any,
         value_a: Any,
@@ -241,7 +241,7 @@ class StubbornBidder(ByzantineBehavior):
     def __init__(
         self,
         pid: ProcessId,
-        network: Network,
+        network: NetworkAPI,
         params: ProtocolParams,
         bit: int = 0,
         horizon: int = 12,
@@ -284,7 +284,7 @@ class FuzzerBehavior(ByzantineBehavior):
     def __init__(
         self,
         pid: ProcessId,
-        network: Network,
+        network: NetworkAPI,
         params: ProtocolParams,
         mutate_p: float = 0.5,
         fanout: int = 2,
@@ -323,28 +323,100 @@ class FuzzerBehavior(ByzantineBehavior):
         return ("no-such-module", rng.random())
 
 
+def dispatch_behavior(
+    pid: ProcessId,
+    spec: Any,
+    network: NetworkAPI,
+    params: ProtocolParams,
+    honest_factory: Callable[[Process, Any], None],
+    default_proposal: Any,
+) -> ByzantineBehavior:
+    """Build a behavior from a harness fault spec — the single dispatcher
+    shared by the simulator harness and the asyncio runtime cluster.
+
+    ``spec`` is a kind string or a mapping with a ``kind`` key plus
+    kwargs.  ``honest_factory(process, bit)`` installs a complete honest
+    stack (with a deferred start-time proposal of ``bit``) on an inner
+    process — how that stack is assembled is the only thing the two
+    execution worlds do differently.
+    """
+    from ..errors import ConfigError
+
+    config = {"kind": spec} if isinstance(spec, str) else dict(spec)
+    kind = config.pop("kind", None)
+    if kind is None:
+        raise ConfigError(f"fault spec needs a 'kind': {spec!r}")
+    if kind == "silent":
+        return SilentBehavior(pid, network, params)
+    if kind == "crash":
+        crash_after = config.pop("crash_after", 50)
+        proposal = config.pop("proposal", default_proposal)
+        return CrashBehavior(
+            pid, network, params,
+            lambda process: honest_factory(process, proposal),
+            crash_after=crash_after, **config,
+        )
+    if kind == "two_faced":
+        group_a = config.pop("group_a", None)
+        bit_a = config.pop("bit_a", 0)
+        bit_b = config.pop("bit_b", 1)
+        if group_a is None:
+            others = [q for q in range(params.n) if q != pid]
+            group_a = others[: len(others) // 2]
+        # Explicit face factories (the legacy make_behavior surface)
+        # override the honest-stack-per-bit construction.
+        factory_a = config.pop("factory_a", None) or (
+            lambda process: honest_factory(process, bit_a)
+        )
+        factory_b = config.pop("factory_b", None) or (
+            lambda process: honest_factory(process, bit_b)
+        )
+        return TwoFacedBehavior(
+            pid, network, params,
+            factory_a=factory_a, factory_b=factory_b,
+            group_a=group_a, **config,
+        )
+    if kind == "fuzzer":
+        return FuzzerBehavior(pid, network, params, **config)
+    if kind == "stubborn":
+        return StubbornBidder(pid, network, params, **config)
+    raise ConfigError(f"unknown fault kind {kind!r}")
+
+
 def make_behavior(
     kind: str,
     pid: ProcessId,
-    network: Network,
+    network: NetworkAPI,
     params: ProtocolParams,
     factory: Optional[ProcessFactory] = None,
     **kwargs: Any,
 ) -> ByzantineBehavior:
-    """Construct a behavior by name — the harness's fault-injection hook.
+    """Construct a behavior by name — thin wrapper over
+    :func:`dispatch_behavior` keeping the historical positional surface.
 
-    Supported kinds: ``silent``, ``crash`` (honest then crash;
-    ``crash_after`` deliveries), ``two_faced`` (needs ``factory_a``,
-    ``factory_b``, ``group_a``), ``fuzzer``.
+    Supported kinds: ``silent``, ``crash`` (honest then crash after
+    ``crash_after`` deliveries, default 0 = crash at start; needs
+    ``factory``), ``two_faced`` (needs ``factory_a`` and ``factory_b``;
+    ``group_a`` defaults to the first half of the other pids),
+    ``fuzzer``, ``stubborn``.  Raises
+    :class:`~repro.errors.ConfigError` on unknown kinds or missing
+    factories.
     """
-    if kind == "silent":
-        return SilentBehavior(pid, network, params)
+    from ..errors import ConfigError
+
     if kind == "crash":
         if factory is None:
-            raise ValueError("crash behavior needs an honest-stack factory")
-        return CrashBehavior(pid, network, params, factory, **kwargs)
-    if kind == "two_faced":
-        return TwoFacedBehavior(pid, network, params, **kwargs)
-    if kind == "fuzzer":
-        return FuzzerBehavior(pid, network, params, **kwargs)
-    raise ValueError(f"unknown behavior kind {kind!r}")
+            raise ConfigError("crash behavior needs an honest-stack factory")
+        # dispatch_behavior carries the *harness* default of 50; this
+        # surface historically crashed at time zero unless told later.
+        kwargs.setdefault("crash_after", 0)
+    if kind == "two_faced" and not ("factory_a" in kwargs and "factory_b" in kwargs):
+        raise ConfigError("two_faced behavior needs factory_a and factory_b")
+
+    def honest_factory(process: Process, _bit: Any) -> None:
+        assert factory is not None  # guarded above for the kinds that use it
+        factory(process)
+
+    return dispatch_behavior(
+        pid, {"kind": kind, **kwargs}, network, params, honest_factory, None
+    )

@@ -28,11 +28,8 @@ from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Union
 
 from ..adversary.behaviors import (
     ByzantineBehavior,
-    CrashBehavior,
-    FuzzerBehavior,
     SilentBehavior,
-    StubbornBidder,
-    TwoFacedBehavior,
+    dispatch_behavior,
 )
 from ..core.broadcast import BroadcastLayer, RbcDelivery
 from ..core.coin import CoinScheme, DealerCoin, LocalCoin, ShareCoinProvider
@@ -262,50 +259,15 @@ def _build_behavior(
     proposals: Dict[ProcessId, Bit],
     stack_factory: StackFactory,
 ) -> ByzantineBehavior:
-    config = _normalize_fault(spec)
-    kind = config.pop("kind")
-    network = sim.network
+    def honest_factory(process: Process, bit: Bit) -> None:
+        consensus = stack_factory(process, coin_scheme)
+        process.add_module(_Proposer(consensus, bit))
 
-    if kind == "silent":
-        behavior: ByzantineBehavior = SilentBehavior(pid, network, params)
-    elif kind == "crash":
-        crash_after = config.pop("crash_after", 50)
-        proposal = config.pop("proposal", proposals[pid])
-
-        def factory(process: Process, _b: Bit = proposal) -> None:
-            consensus = stack_factory(process, coin_scheme)
-            process.add_module(_Proposer(consensus, _b))
-
-        behavior = CrashBehavior(
-            pid, network, params, factory, crash_after=crash_after, **config
-        )
-    elif kind == "two_faced":
-        group_a = config.pop("group_a", None)
-        bit_a = config.pop("bit_a", 0)
-        bit_b = config.pop("bit_b", 1)
-        if group_a is None:
-            others = [q for q in range(params.n) if q != pid]
-            group_a = others[: len(others) // 2]
-
-        def factory_a(process: Process, _b: Bit = bit_a) -> None:
-            consensus = stack_factory(process, coin_scheme)
-            process.add_module(_Proposer(consensus, _b))
-
-        def factory_b(process: Process, _b: Bit = bit_b) -> None:
-            consensus = stack_factory(process, coin_scheme)
-            process.add_module(_Proposer(consensus, _b))
-
-        behavior = TwoFacedBehavior(
-            pid, network, params,
-            factory_a=factory_a, factory_b=factory_b, group_a=group_a, **config,
-        )
-    elif kind == "fuzzer":
-        behavior = FuzzerBehavior(pid, network, params, **config)
-    elif kind == "stubborn":
-        behavior = StubbornBidder(pid, network, params, **config)
-    else:
-        raise ConfigError(f"unknown fault kind {kind!r}")
-    network.register(behavior)
+    behavior = dispatch_behavior(
+        pid, _normalize_fault(spec), sim.network, params,
+        honest_factory, proposals[pid],
+    )
+    sim.network.register(behavior)
     return behavior
 
 
@@ -409,8 +371,24 @@ def collect_result(run: ConsensusRun) -> RunResult:
 
 def verify_result(run: ConsensusRun, result: RunResult, check: bool = True) -> None:
     """Apply the paper's safety properties; raise or record violations."""
-    correct = run.correct_pids
-    correct_proposals = {run.proposals[pid] for pid in correct}
+    verify_outcome(run.proposals, run.consensus, result, check=check)
+
+
+def verify_outcome(
+    proposals: Mapping[ProcessId, Bit],
+    consensus_by_pid: Mapping[ProcessId, Any],
+    result: RunResult,
+    check: bool = True,
+) -> None:
+    """Safety-check a finished execution, however it was driven.
+
+    ``consensus_by_pid`` maps each *correct* pid to its decision-bearing
+    module; the simulator harness and the asyncio runtime cluster both
+    funnel their outcomes through here, so the two worlds are held to
+    the identical agreement/validity/integrity/liveness standard.
+    """
+    correct = sorted(consensus_by_pid)
+    correct_proposals = {proposals[pid] for pid in correct}
 
     def fail(exc_cls, message: str) -> None:
         result.violations.append(message)
@@ -427,7 +405,7 @@ def verify_result(run: ConsensusRun, result: RunResult, check: bool = True) -> N
                 f"p{pid} decided {decision.value}, proposed by no correct process",
             )
     for pid in correct:
-        flags = run.consensus[pid].invariant_flags
+        flags = consensus_by_pid[pid].invariant_flags
         if flags:
             fail(IntegrityViolation, f"p{pid}: {'; '.join(flags)}")
     if len(result.decisions) < len(correct):

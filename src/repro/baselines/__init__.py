@@ -22,7 +22,7 @@ behaviors as the core protocol, and the comparison harness
 from .benor import BenOrConsensus
 from .benor_crash import BenOrCrashConsensus
 from .bv_broadcast import BinaryValueBroadcast, BvDeliver
-from .harness import run_protocol
+from .harness import DEFAULT_COIN, STACKS, run_protocol
 from .mmr14 import Mmr14Consensus
 from .rabin import rabin_configuration
 

@@ -3,7 +3,9 @@
 Subcommands:
 
 * ``consensus`` — one checked consensus run of any protocol, with faults,
-  coins, and adversarial schedulers.
+  coins, and adversarial schedulers (discrete-event simulator).
+* ``run-net`` — the same protocols executed concurrently on the asyncio
+  runtime, over in-process queues or authenticated TCP on localhost.
 * ``broadcast`` — one reliable-broadcast instance (optionally with an
   equivocating sender).
 * ``attack`` — the scripted Ben-Or disagreement attack across seeds.
@@ -13,6 +15,8 @@ Examples::
 
     python -m repro consensus -n 7 --faults 5:two_faced 6:silent --seed 3
     python -m repro consensus -n 4 --protocol mmr14 --coin dealer
+    python -m repro run-net --n 4 --t 1 --transport tcp
+    python -m repro run-net -n 7 --protocol acs --instances 1
     python -m repro broadcast -n 7 --equivocate
     python -m repro attack --trials 20
     python -m repro sweep -n 4 --trials 25 --coin local
@@ -100,6 +104,44 @@ def cmd_consensus(args: argparse.Namespace) -> int:
     print(f"steps     : {result.steps}")
     for pid, round_ in sorted(result.meta["decision_rounds"].items()):
         print(f"  p{pid} decided in round {round_}")
+    return 0
+
+
+def cmd_run_net(args: argparse.Namespace) -> int:
+    from .baselines import DEFAULT_COIN
+    from .runtime import run_cluster_sync
+
+    faults = _parse_faults(args.faults)
+    coin = args.coin or DEFAULT_COIN.get(args.protocol, "local")
+    result = run_cluster_sync(
+        args.n,
+        t=args.t,
+        protocol=args.protocol,
+        proposals=_parse_proposals(args.proposals, args.n),
+        coin=coin,
+        faults=faults,
+        transport=args.transport,
+        seed=args.seed,
+        instances=args.instances,
+        host=args.host,
+        base_port=args.base_port,
+        timeout=args.timeout,
+    )
+    params = for_system(args.n, args.t)
+    print(f"system    : {params.describe()}")
+    print(f"runtime   : {args.transport} transport, protocol {args.protocol} "
+          f"(coin: {coin}, instances: {args.instances})")
+    print(f"faults    : {faults or 'none'}")
+    print(f"decision  : {sorted(result.decided_values)}")
+    if args.protocol != "acs":
+        print(f"rounds    : {result.rounds} (decided in {result.decision_round()})")
+    print(f"messages  : {result.messages_sent} sent, "
+          f"{result.messages_delivered} delivered")
+    if "frames_rejected" in result.meta:
+        print(f"rejected  : {result.meta['frames_rejected']} unauthenticated frames")
+    print(f"wall time : {result.virtual_time * 1000:.1f} ms")
+    for pid, latency in sorted(result.meta["decision_latency"].items()):
+        print(f"  p{pid} decided after {latency * 1000:.1f} ms")
     return 0
 
 
@@ -203,6 +245,34 @@ def build_parser() -> argparse.ArgumentParser:
     broadcast.add_argument("--equivocate", action="store_true",
                            help="the sender is Byzantine and equivocates")
     broadcast.set_defaults(func=cmd_broadcast)
+
+    run_net = sub.add_parser(
+        "run-net",
+        help="run a protocol concurrently on the asyncio runtime",
+    )
+    run_net.add_argument("-n", "--n", dest="n", type=int, default=4,
+                         help="number of processes")
+    run_net.add_argument("--seed", type=int, default=0)
+    run_net.add_argument("--t", type=int, default=None,
+                         help="fault bound (default ⌊(n−1)/3⌋)")
+    run_net.add_argument("--protocol",
+                         choices=["bracha", "benor", "benor-crash", "mmr14", "acs"],
+                         default="bracha")
+    run_net.add_argument("--transport", choices=["local", "tcp"], default="local",
+                         help="in-process asyncio queues or JSON-over-TCP with MACs")
+    run_net.add_argument("--coin", choices=["local", "dealer", "shares"], default=None)
+    run_net.add_argument("--proposals", default=None,
+                         help="'0'/'1' for unanimity or an n-bit string like 0110")
+    run_net.add_argument("--faults", nargs="*", metavar="PID:KIND",
+                         help="e.g. 3:silent 2:two_faced")
+    run_net.add_argument("--instances", type=int, default=1,
+                         help="parallel consensus instances per node")
+    run_net.add_argument("--host", default="127.0.0.1")
+    run_net.add_argument("--base-port", type=int, default=0,
+                         help="first TCP port (0 = pick free ports)")
+    run_net.add_argument("--timeout", type=float, default=60.0,
+                         help="liveness deadline in seconds")
+    run_net.set_defaults(func=cmd_run_net)
 
     attack = sub.add_parser("attack", help="scripted Ben-Or disagreement attack")
     attack.add_argument("--trials", type=int, default=12)

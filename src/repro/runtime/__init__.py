@@ -1,0 +1,47 @@
+"""Concurrent runtime: the paper's protocols on real transports.
+
+The simulator (:mod:`repro.sim`) executes protocol stacks one delivery
+at a time under a scheduler it controls — ideal for adversarial
+exploration and exact reproducibility, useless for serving traffic.
+This package executes the *same unmodified* protocol modules
+(:class:`~repro.core.consensus.BrachaConsensus`, the broadcast layer,
+the baselines, ACS) concurrently:
+
+* :class:`~repro.runtime.transport.Transport` — per-node async message
+  endpoint.  :class:`~repro.runtime.transport.LocalHub` provides
+  in-process ``asyncio`` queue transports;
+  :class:`~repro.runtime.tcp.TcpTransport` speaks length-prefixed JSON
+  over TCP with :mod:`repro.net.auth` MAC authentication.
+* :class:`~repro.runtime.node.Node` — adapts the sim-facing
+  ``deliver(sender, payload)`` / ``start()`` protocol interface onto an
+  async inbox, so modules remain synchronous state machines.
+* :class:`~repro.runtime.cluster.Cluster` /
+  :func:`~repro.runtime.cluster.run_cluster` — spawns ``n`` nodes
+  (optionally with Byzantine behaviors), runs one or many consensus
+  instances to decision, and reports metrics compatible with
+  :mod:`repro.sim.metrics`.
+
+See ``docs/runtime.md`` for the design and its current limits.
+"""
+
+from .cluster import Cluster, run_cluster, run_cluster_sync
+from .codec import CodecError, decode, encode, register_message
+from .node import Node, NodeNetwork
+from .tcp import TcpTransport
+from .transport import LocalHub, Transport, TransportClosed
+
+__all__ = [
+    "Cluster",
+    "CodecError",
+    "LocalHub",
+    "Node",
+    "NodeNetwork",
+    "TcpTransport",
+    "Transport",
+    "TransportClosed",
+    "decode",
+    "encode",
+    "register_message",
+    "run_cluster",
+    "run_cluster_sync",
+]

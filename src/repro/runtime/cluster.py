@@ -1,0 +1,592 @@
+"""Cluster driver: spawn n nodes, run protocols to decision, measure.
+
+:class:`Cluster` assembles the runtime analogue of
+:func:`repro.analysis.experiments.setup_consensus`: the same protocol
+stacks (Bracha, Ben-Or and its crash variant, MMR-14, ACS), the same
+coin schemes, and the same Byzantine behaviors — but each process lives
+on its own :class:`~repro.runtime.node.Node` with a private
+:class:`~repro.runtime.node.NodeNetwork`, pumped concurrently over a
+real :class:`~repro.runtime.transport.Transport` ("local" asyncio
+queues or authenticated "tcp").
+
+The driver can run *many* consensus instances per node in one execution
+(``instances > 1``): Bracha instances share one reliable-broadcast
+layer exactly as the ACS application does, which is the batching shape
+later scaling work builds on.
+
+Results come back as the same :class:`~repro.types.RunResult` the
+simulator produces (message counters aggregated across the per-node
+:class:`~repro.sim.metrics.Metrics`), and pass through the same safety
+verification (:func:`repro.analysis.experiments.verify_outcome`), so
+sim and runtime executions are directly comparable in tables and
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+from ..adversary.behaviors import ByzantineBehavior, dispatch_behavior
+from ..analysis.experiments import (
+    FaultSpec,
+    ProposalSpec,
+    make_coin,
+    normalize_proposals,
+    verify_outcome,
+)
+from ..app.acs import AcsInstance
+from ..baselines.benor import BenOrConsensus
+from ..baselines.harness import STACKS
+from ..core.broadcast import BroadcastLayer
+from ..core.coin import CoinScheme, LocalCoin
+from ..core.consensus import BrachaConsensus
+from ..errors import ConfigError, LivenessFailure
+from ..net.auth import KeyRing
+from ..params import ProtocolParams, for_system
+from ..sim.process import Process, ProtocolModule
+from ..sim.rng import derive_seed
+from ..types import Decision, ProcessId, RunResult
+from .node import Node, NodeNetwork
+from .tcp import TcpTransport
+from .transport import LocalHub, Transport
+
+PROTOCOLS = ("bracha", "benor", "benor-crash", "mmr14", "acs")
+
+#: Builds the per-node protocol stack; returns the decision-bearing
+#: modules (one per instance), or the ACS instance.
+_StackBuilder = Callable[[Process], List[Any]]
+
+
+# ---------------------------------------------------------------------------
+# Stack assembly
+# ---------------------------------------------------------------------------
+
+
+def _instance_coin(
+    coin: Union[str, CoinScheme], n: int, t: int, seed: int, index: int
+) -> CoinScheme:
+    """An independent coin scheme for consensus instance ``index``.
+
+    Instance coins must be independent (the ACS construction relies on
+    it), so string specs are re-derived per instance; explicit scheme
+    objects are only accepted for a single instance.
+    """
+    if isinstance(coin, CoinScheme):
+        if index > 0:
+            raise ConfigError("pass a coin *name* when running multiple instances")
+        return coin
+    if coin == "local":
+        return LocalCoin(salt=("inst", index)) if index else LocalCoin()
+    return make_coin(coin, n, t, derive_seed(seed, "inst-coin", index))
+
+
+class _ProtocolPlan:
+    """How to build, propose to, and read out one protocol choice."""
+
+    def __init__(
+        self,
+        protocol: str,
+        params: ProtocolParams,
+        coin: Union[str, CoinScheme],
+        seed: int,
+        instances: int,
+    ):
+        if protocol not in PROTOCOLS:
+            raise ConfigError(
+                f"unknown protocol {protocol!r}; choose from {sorted(PROTOCOLS)}"
+            )
+        if instances < 1:
+            raise ConfigError(f"need at least one instance, got {instances}")
+        if instances > 1 and protocol not in ("bracha", "benor"):
+            raise ConfigError(f"multiple instances are not supported for {protocol!r}")
+        if coin == "shares" and (instances > 1 or protocol == "acs"):
+            # Each share-coin attaches a module under one id; parallel
+            # instances would collide.  Salted local / dealer coins give
+            # the independence parallel instances need.
+            raise ConfigError(
+                "the share-based coin supports a single instance; "
+                "use 'local' or 'dealer' for parallel instances and ACS"
+            )
+        self.protocol = protocol
+        self.params = params
+        self.instances = instances
+        n, t = params.n, params.t
+        if protocol == "acs":
+            # One coin scheme per ABA index, shared by every node —
+            # mirroring the simulator-side ACS assembly.
+            self._acs_coins = [
+                _instance_coin(coin, n, t, seed, j) for j in range(n)
+            ]
+        else:
+            self._coins = [
+                _instance_coin(coin, n, t, seed, i) for i in range(instances)
+            ]
+
+    # -- builders ------------------------------------------------------------
+
+    def build(self, process: Process) -> List[Any]:
+        """Install the stack on ``process``; return decision modules."""
+        if self.protocol == "acs":
+            rbc = BroadcastLayer()
+            process.add_module(rbc)
+            acs = AcsInstance(
+                process, rbc, coin_factory=lambda j: self._acs_coins[j]
+            )
+            return [acs]
+        if self.instances == 1:
+            # Single instance: the simulator harness's own stack builder,
+            # so sim and runtime assemble byte-for-byte the same stack.
+            return [STACKS[self.protocol](process, self._coins[0])]
+        if self.protocol == "bracha":
+            rbc = BroadcastLayer()
+            process.add_module(rbc)
+            modules = []
+            for i in range(self.instances):
+                consensus = BrachaConsensus(
+                    rbc, self._coins[i].attach(process), module_id=f"bracha-{i}"
+                )
+                process.add_module(consensus)
+                modules.append(consensus)
+            return modules
+        # benor (the only other multi-instance protocol, guarded above)
+        modules = []
+        for i in range(self.instances):
+            consensus = BenOrConsensus(
+                self._coins[i].attach(process), module_id=f"benor-{i}"
+            )
+            process.add_module(consensus)
+            modules.append(consensus)
+        return modules
+
+    def propose(self, modules: List[Any], pid: ProcessId, proposal: Any) -> None:
+        if self.protocol == "acs":
+            modules[0].propose(proposal)
+        else:
+            for module in modules:
+                module.propose(proposal)
+
+    # -- readouts ------------------------------------------------------------
+
+    def decided(self, modules: List[Any]) -> bool:
+        if self.protocol == "acs":
+            return modules[0].done
+        return all(m.decided for m in modules)
+
+    def halted(self, modules: List[Any]) -> bool:
+        if self.protocol == "acs":
+            return modules[0].done
+        return all(m.halted for m in modules)
+
+
+# ---------------------------------------------------------------------------
+# Fault injection (runtime mirror of experiments._build_behavior)
+# ---------------------------------------------------------------------------
+
+
+def _build_runtime_behavior(
+    pid: ProcessId,
+    spec: FaultSpec,
+    network: NodeNetwork,
+    params: ProtocolParams,
+    plan: _ProtocolPlan,
+    proposals: Dict[ProcessId, Any],
+) -> ByzantineBehavior:
+    def honest_factory(process: Process, bit: Any) -> None:
+        modules = plan.build(process)
+        process.add_module(_RuntimeProposer(modules, plan, bit))
+
+    return dispatch_behavior(
+        pid, spec, network, params, honest_factory, proposals[pid]
+    )
+
+
+class _RuntimeProposer(ProtocolModule):
+    """Start-time proposer covering every instance of a plan's stack.
+
+    Behaviors wrapping honest stacks (crash, two-faced) cannot be told
+    to propose from outside, so — as in the simulator harness — the
+    proposal is injected by a module's ``start()`` hook.
+    """
+
+    def __init__(self, modules: List[Any], plan: _ProtocolPlan, bit: Any):
+        tag = getattr(modules[0], "module_id", plan.protocol)
+        super().__init__(f"_proposer-{tag}")
+        self._modules = modules
+        self._plan = plan
+        self._bit = bit
+
+    def start(self) -> None:
+        self._plan.propose(self._modules, -1, self._bit)
+
+    def on_message(self, sender: ProcessId, payload: Any) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# The cluster
+# ---------------------------------------------------------------------------
+
+
+class Cluster:
+    """n concurrently-running nodes executing one protocol to decision.
+
+    Use as an async context manager, or call :func:`run_cluster` /
+    :func:`run_cluster_sync` for the one-shot path::
+
+        async with Cluster(n=4, transport="tcp") as cluster:
+            result = await cluster.run()
+    """
+
+    def __init__(
+        self,
+        n: int,
+        t: Optional[int] = None,
+        protocol: str = "bracha",
+        proposals: ProposalSpec = None,
+        coin: Union[str, CoinScheme] = "local",
+        faults: Optional[Mapping[ProcessId, FaultSpec]] = None,
+        transport: str = "local",
+        seed: int = 0,
+        instances: int = 1,
+        host: str = "127.0.0.1",
+        base_port: int = 0,
+        codec_check: bool = False,
+        allow_excess_faults: bool = False,
+    ):
+        self.params = for_system(n, t)
+        self.protocol = protocol
+        self.transport_kind = transport
+        self.seed = seed
+        self.instances = instances
+        self.host = host
+        self.base_port = base_port
+        self.codec_check = codec_check
+        self.faults = dict(faults or {})
+        for pid in self.faults:
+            if not 0 <= pid < n:
+                raise ConfigError(f"fault pid {pid} out of range")
+        if len(self.faults) > self.params.t and not allow_excess_faults:
+            raise ConfigError(
+                f"{len(self.faults)} faults injected but t={self.params.t}; "
+                "pass allow_excess_faults=True if the excess is intentional"
+            )
+        if transport not in ("local", "tcp"):
+            raise ConfigError(f"unknown transport {transport!r}")
+        self.plan = _ProtocolPlan(protocol, self.params, coin, seed, instances)
+        if protocol == "acs":
+            self.proposals: Dict[ProcessId, Any] = {
+                pid: f"req-p{pid}" for pid in range(n)
+            }
+        else:
+            self.proposals = normalize_proposals(proposals, n)
+
+        self.nodes: Dict[ProcessId, Node] = {}
+        self.stacks: Dict[ProcessId, List[Any]] = {}  # correct nodes only
+        self.behaviors: Dict[ProcessId, ByzantineBehavior] = {}
+        self.transports: Dict[ProcessId, Transport] = {}
+        self._tasks: List[asyncio.Task] = []
+        self._hub: Optional[LocalHub] = None
+        self._progress = asyncio.Event()
+        self._decision_times: Dict[ProcessId, float] = {}
+        self._zero = 0.0
+        self._started = False
+
+    # -- assembly ------------------------------------------------------------
+
+    async def start(self) -> "Cluster":
+        """Bind transports, build nodes, and launch every run loop."""
+        if self._started:
+            raise ConfigError("cluster already started")
+        self._started = True
+        n = self.params.n
+        await self._make_transports()
+
+        for pid in range(n):
+            network = NodeNetwork(pid, self.params, seed=self.seed)
+            if pid in self.faults:
+                behavior = _build_runtime_behavior(
+                    pid, self.faults[pid], network, self.params,
+                    self.plan, self.proposals,
+                )
+                self.behaviors[pid] = behavior
+                target: Any = behavior
+            else:
+                process = Process(pid, network, self.params)  # type: ignore[arg-type]
+                modules = self.plan.build(process)
+                self.stacks[pid] = modules
+                target = process
+            node = Node(
+                pid, network, self.transports[pid], target,
+                on_activation=self._on_activation,
+            )
+            self.nodes[pid] = node
+
+        # Queue proposals before the run loops start so every correct
+        # node proposes immediately after its modules' start() hooks.
+        for pid, modules in self.stacks.items():
+            bit = self.proposals[pid]
+            self.nodes[pid].queue_action(
+                lambda m=modules, p=pid, b=bit: self.plan.propose(m, p, b)
+            )
+
+        self._zero = time.monotonic()
+        self._tasks = [
+            asyncio.ensure_future(node.run()) for node in self.nodes.values()
+        ]
+        return self
+
+    async def _make_transports(self) -> None:
+        n = self.params.n
+        if self.transport_kind == "local":
+            self._hub = LocalHub(n, codec_check=self.codec_check)
+            self.transports = {pid: self._hub.endpoint(pid) for pid in range(n)}
+            return
+        ring = KeyRing(n, master_secret=f"cluster-setup-{self.seed}".encode())
+        endpoints: Dict[ProcessId, TcpTransport] = {}
+        for pid in range(n):
+            port = 0 if self.base_port == 0 else self.base_port + pid
+            endpoints[pid] = TcpTransport(pid, n, ring, host=self.host, port=port)
+        for t in endpoints.values():
+            await t.start()
+        peers = {pid: t.address for pid, t in endpoints.items()}
+        for t in endpoints.values():
+            t.set_peers(peers)
+        await asyncio.gather(*(t.connect() for t in endpoints.values()))
+        self.transports = dict(endpoints)
+
+    # -- progress tracking ---------------------------------------------------
+
+    def _on_activation(self, node: Node) -> None:
+        modules = self.stacks.get(node.pid)
+        if modules is not None and node.pid not in self._decision_times:
+            if self.plan.decided(modules):
+                self._decision_times[node.pid] = time.monotonic() - self._zero
+        self._progress.set()
+
+    def _all(self, predicate: Callable[[List[Any]], bool]) -> bool:
+        return all(predicate(modules) for modules in self.stacks.values())
+
+    # -- execution -----------------------------------------------------------
+
+    async def run(
+        self,
+        timeout: float = 60.0,
+        stop: str = "decided",
+        check: bool = True,
+    ) -> RunResult:
+        """Wait for the stop condition, then collect and verify a result.
+
+        ``stop`` is ``"decided"`` (every correct node decided every
+        instance) or ``"halted"`` (every correct node may stop
+        participating).  A timeout raises
+        :class:`~repro.errors.LivenessFailure` under ``check=True`` and
+        is recorded as a violation otherwise.
+        """
+        if not self._started:
+            await self.start()
+        if stop == "decided":
+            predicate = lambda: self._all(self.plan.decided)  # noqa: E731
+        elif stop == "halted":
+            predicate = lambda: self._all(self.plan.halted)  # noqa: E731
+        else:
+            raise ConfigError(f"unknown stop condition {stop!r}")
+
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        timed_out = False
+        while not predicate():
+            self._crash_check()
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                timed_out = True
+                break
+            self._progress.clear()
+            try:
+                await asyncio.wait_for(self._progress.wait(), remaining)
+            except asyncio.TimeoutError:
+                timed_out = True
+                break
+        # A node that died without a subsequent activation would read as
+        # a timeout; surface the real exception instead.
+        self._crash_check()
+
+        result = self._collect(timed_out)
+        if timed_out and check:
+            missing = sorted(
+                pid for pid, modules in self.stacks.items()
+                if not self.plan.decided(modules)
+            )
+            raise LivenessFailure(
+                f"timeout after {timeout}s; nodes still undecided: {missing}"
+            )
+        if self.protocol == "acs":
+            self._verify_acs(result, check=check)
+        else:
+            verify_outcome(
+                self.proposals,
+                {pid: modules[0] for pid, modules in self.stacks.items()},
+                result,
+                check=check,
+            )
+            if self.instances > 1:
+                self._verify_instances(result, check=check)
+        return result
+
+    def _verify_instances(self, result: RunResult, check: bool) -> None:
+        """Hold every instance beyond the first to the same
+        :func:`verify_outcome` standard instance 0 already passed —
+        agreement, validity, integrity, and liveness per instance."""
+        for i in range(1, self.instances):
+            instance_result = RunResult(
+                decisions={
+                    pid: Decision(
+                        pid, modules[i].decision, modules[i].decision_round, 0.0
+                    )
+                    for pid, modules in self.stacks.items()
+                    if modules[i].decided
+                }
+            )
+            verify_outcome(
+                self.proposals,
+                {pid: modules[i] for pid, modules in self.stacks.items()},
+                instance_result,
+                check=check,
+            )
+            result.violations.extend(
+                f"instance {i}: {violation}"
+                for violation in instance_result.violations
+            )
+
+    def _crash_check(self) -> None:
+        for node in self.nodes.values():
+            if node.crashed is not None:
+                raise node.crashed
+
+    async def shutdown(self) -> None:
+        """Close transports and cancel all node tasks."""
+        await asyncio.gather(
+            *(t.close() for t in self.transports.values()), return_exceptions=True
+        )
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    async def __aenter__(self) -> "Cluster":
+        return await self.start()
+
+    async def __aexit__(self, *_exc: Any) -> None:
+        await self.shutdown()
+
+    # -- result assembly -----------------------------------------------------
+
+    def _collect(self, timed_out: bool) -> RunResult:
+        elapsed = time.monotonic() - self._zero
+        result = RunResult(virtual_time=elapsed)
+        sent_by_kind: Dict[str, int] = {}
+        for pid, node in self.nodes.items():
+            metrics = node.network.metrics
+            result.messages_sent += metrics.sent
+            for kind, count in metrics.sent_by_kind.items():
+                sent_by_kind[kind] = sent_by_kind.get(kind, 0) + count
+            result.steps += node.activations
+            delivered = getattr(node.transport, "delivered", 0)
+            result.messages_delivered += delivered
+
+        instance_decisions: Dict[ProcessId, List[Any]] = {}
+        for pid, modules in self.stacks.items():
+            if self.protocol == "acs":
+                acs = modules[0]
+                if acs.done:
+                    result.decisions[pid] = Decision(
+                        pid, acs.output.pids, 0,
+                        self._decision_times.get(pid, elapsed),
+                    )
+                continue
+            if modules[0].decided:
+                result.decisions[pid] = Decision(
+                    pid, modules[0].decision, modules[0].decision_round,
+                    self._decision_times.get(pid, elapsed),
+                )
+            instance_decisions[pid] = [m.decision for m in modules]
+            if self.plan.halted(modules):
+                result.halted.add(pid)
+            result.rounds = max(
+                result.rounds, max(m.stats["rounds"] for m in modules)
+            )
+
+        if timed_out:
+            result.violations.append("timeout (possible livelock)")
+        result.meta["transport"] = self.transport_kind
+        result.meta["protocol"] = self.protocol
+        result.meta["instances"] = self.instances
+        result.meta["proposals"] = dict(self.proposals)
+        result.meta["faulty"] = sorted(self.behaviors)
+        result.meta["messages_by_kind"] = sent_by_kind
+        result.meta["decision_rounds"] = {
+            pid: d.round for pid, d in result.decisions.items()
+        }
+        result.meta["decision_latency"] = dict(self._decision_times)
+        if self.instances > 1:
+            result.meta["instance_decisions"] = instance_decisions
+        if self.transport_kind == "tcp":
+            result.meta["frames_rejected"] = sum(
+                getattr(t, "rejected", 0) for t in self.transports.values()
+            )
+        return result
+
+    def _verify_acs(self, result: RunResult, check: bool) -> None:
+        from ..errors import AgreementViolation
+
+        outputs = {
+            pid: modules[0].output
+            for pid, modules in self.stacks.items()
+            if modules[0].done
+        }
+        distinct = {out.proposals for out in outputs.values()}
+        if len(distinct) > 1:
+            message = f"ACS outputs diverge: {distinct}"
+            result.violations.append(message)
+            if check:
+                raise AgreementViolation(message)
+        for out in outputs.values():
+            if len(out.proposals) < self.params.step_quorum:
+                message = (
+                    f"ACS output has {len(out.proposals)} elements, "
+                    f"need >= {self.params.step_quorum}"
+                )
+                result.violations.append(message)
+                if check:
+                    raise AgreementViolation(message)
+            break
+
+
+# ---------------------------------------------------------------------------
+# One-shot entry points
+# ---------------------------------------------------------------------------
+
+
+async def run_cluster(
+    n: int,
+    t: Optional[int] = None,
+    timeout: float = 60.0,
+    stop: str = "decided",
+    check: bool = True,
+    **kwargs: Any,
+) -> RunResult:
+    """Assemble, execute to decision, tear down, and verify one run."""
+    cluster = Cluster(n, t, **kwargs)
+    try:
+        await cluster.start()
+        return await cluster.run(timeout=timeout, stop=stop, check=check)
+    finally:
+        await cluster.shutdown()
+
+
+def run_cluster_sync(n: int, **kwargs: Any) -> RunResult:
+    """Blocking wrapper around :func:`run_cluster` (CLI, tests, notebooks)."""
+    return asyncio.run(run_cluster(n, **kwargs))
+
+
+__all__ = ["Cluster", "PROTOCOLS", "run_cluster", "run_cluster_sync"]

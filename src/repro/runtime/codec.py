@@ -1,0 +1,242 @@
+"""JSON wire codec for protocol messages.
+
+The simulator hands Python objects between processes by reference; a real
+transport needs bytes.  Protocol payloads are deliberately *plain data*
+(frozen dataclasses of ints, strings, bytes, tuples and enums — see
+:mod:`repro.types`), so a small tagged-JSON encoding covers all of them
+without pickling (pickle over the network would hand Byzantine peers a
+remote-code-execution primitive).
+
+Encoding rules:
+
+* JSON scalars (``str``, ``int``, ``float``, ``bool``, ``None``) pass
+  through.
+* Tuples become ``{"__tuple__": [...]}`` — instance identifiers are
+  tuples and must stay hashable after decode.
+* Bytes become ``{"__bytes__": "<hex>"}`` (MAC tags, share tags).
+* Enum members become ``{"__enum__": "Phase", "value": "INIT"}``.
+* Registered dataclasses become
+  ``{"__msg__": "RbcMessage", "fields": {...}}``; decoding re-invokes the
+  constructor, so ``__post_init__`` validation runs on inbound data.
+
+Every message dataclass in the library is registered below; downstream
+protocols register their own via :func:`register_message`.  Unknown tags
+or malformed structures raise :class:`CodecError` — the transport drops
+such frames the way a real system drops unparseable packets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from typing import Any, Dict, Type
+
+from ..errors import ReproError
+
+__all__ = [
+    "CodecError",
+    "register_message",
+    "encode",
+    "decode",
+    "dumps",
+    "loads",
+    "canonical",
+]
+
+
+class CodecError(ReproError):
+    """A payload cannot be encoded, or a frame cannot be decoded."""
+
+
+#: name -> class for dataclasses allowed on the wire.
+_MESSAGES: Dict[str, Type[Any]] = {}
+#: name -> enum class allowed on the wire.
+_ENUMS: Dict[str, Type[enum.Enum]] = {}
+
+_TUPLE = "__tuple__"
+_BYTES = "__bytes__"
+_ENUM = "__enum__"
+_MSG = "__msg__"
+_MARKERS = (_TUPLE, _BYTES, _ENUM, _MSG)
+
+
+def register_message(cls: Type[Any]) -> Type[Any]:
+    """Allow a dataclass on the wire (usable as a decorator).
+
+    Registration is by class name, so two protocols must not reuse a
+    name — the registry refuses the collision loudly rather than letting
+    frames decode into the wrong type.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise CodecError(f"{cls!r} is not a dataclass")
+    name = cls.__name__
+    existing = _MESSAGES.get(name)
+    if existing is not None and existing is not cls:
+        raise CodecError(f"message name {name!r} already registered by {existing!r}")
+    _MESSAGES[name] = cls
+    return cls
+
+
+def register_enum(cls: Type[enum.Enum]) -> Type[enum.Enum]:
+    """Allow an enum on the wire (by class name + member name)."""
+    existing = _ENUMS.get(cls.__name__)
+    if existing is not None and existing is not cls:
+        raise CodecError(f"enum name {cls.__name__!r} already registered")
+    _ENUMS[cls.__name__] = cls
+    return cls
+
+
+# -- encoding ---------------------------------------------------------------
+
+
+def encode(obj: Any) -> Any:
+    """Convert a payload into JSON-serializable structures."""
+    if isinstance(obj, enum.Enum):
+        # Before the scalar pass-through: IntEnum members are ints, and
+        # letting them degrade to plain ints on the wire would make
+        # `is`/isinstance checks diverge between sim and runtime.
+        name = type(obj).__name__
+        if name not in _ENUMS:
+            raise CodecError(f"enum {name!r} is not registered for the wire")
+        return {_ENUM: name, "value": obj.name}
+    if obj is None or isinstance(obj, (str, bool, int, float)):
+        return obj
+    if isinstance(obj, tuple):
+        return {_TUPLE: [encode(item) for item in obj]}
+    if isinstance(obj, list):
+        return [encode(item) for item in obj]
+    if isinstance(obj, (bytes, bytearray)):
+        return {_BYTES: bytes(obj).hex()}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        name = type(obj).__name__
+        if _MESSAGES.get(name) is not type(obj):
+            raise CodecError(f"message type {name!r} is not registered for the wire")
+        fields = {
+            f.name: encode(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        }
+        return {_MSG: name, "fields": fields}
+    if isinstance(obj, dict):
+        if any(not isinstance(k, str) for k in obj):
+            raise CodecError("only string-keyed dicts are encodable")
+        if any(k in _MARKERS for k in obj):
+            raise CodecError("dict keys collide with codec markers")
+        return {k: encode(v) for k, v in obj.items()}
+    raise CodecError(f"cannot encode {type(obj).__name__}: {obj!r}")
+
+
+def decode(data: Any) -> Any:
+    """Inverse of :func:`encode`; raises :class:`CodecError` on garbage."""
+    if data is None or isinstance(data, (str, bool, int, float)):
+        return data
+    if isinstance(data, list):
+        return [decode(item) for item in data]
+    if isinstance(data, dict):
+        if _TUPLE in data:
+            items = data[_TUPLE]
+            if len(data) != 1 or not isinstance(items, list):
+                raise CodecError(f"malformed tuple frame: {data!r}")
+            return tuple(decode(item) for item in items)
+        if _BYTES in data:
+            if len(data) != 1 or not isinstance(data[_BYTES], str):
+                raise CodecError(f"malformed bytes frame: {data!r}")
+            try:
+                return bytes.fromhex(data[_BYTES])
+            except ValueError as exc:
+                raise CodecError(f"bad hex in bytes frame: {exc}") from exc
+        if _ENUM in data:
+            cls = _ENUMS.get(data.get(_ENUM))
+            if cls is None or set(data) != {_ENUM, "value"}:
+                raise CodecError(f"malformed enum frame: {data!r}")
+            try:
+                return cls[data["value"]]
+            except KeyError as exc:
+                raise CodecError(f"unknown enum member: {data!r}") from exc
+        if _MSG in data:
+            cls = _MESSAGES.get(data.get(_MSG))
+            if cls is None or set(data) != {_MSG, "fields"}:
+                raise CodecError(f"malformed message frame: {data!r}")
+            fields = data["fields"]
+            if not isinstance(fields, dict):
+                raise CodecError(f"malformed message fields: {fields!r}")
+            declared = {f.name for f in dataclasses.fields(cls)}
+            if set(fields) != declared:
+                raise CodecError(
+                    f"{data[_MSG]} fields {sorted(fields)} != declared {sorted(declared)}"
+                )
+            try:
+                return cls(**{k: decode(v) for k, v in fields.items()})
+            except CodecError:
+                raise
+            except Exception as exc:  # constructor validation rejected it
+                raise CodecError(f"rejected {data[_MSG]} payload: {exc}") from exc
+        return {k: decode(v) for k, v in data.items()}
+    raise CodecError(f"cannot decode {type(data).__name__}: {data!r}")
+
+
+# -- byte-level helpers ------------------------------------------------------
+
+
+def canonical(encoded: Any) -> str:
+    """Canonical JSON text of an encoded payload (the MAC'd string).
+
+    Sorted keys and tight separators make the text a deterministic
+    function of the payload, so sender and receiver MAC the same bytes.
+    """
+    return json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+
+
+def dumps(obj: Any) -> bytes:
+    """Encode a payload straight to UTF-8 JSON bytes."""
+    return canonical(encode(obj)).encode("utf-8")
+
+
+def loads(raw: bytes) -> Any:
+    """Decode UTF-8 JSON bytes back into a payload."""
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"unparseable frame: {exc}") from exc
+    return decode(data)
+
+
+# -- registry of the library's wire types ------------------------------------
+
+
+def _register_builtin_types() -> None:
+    # Imported here, not at module top, to keep the codec import-light and
+    # cycle-free (protocol modules may import the codec in the future).
+    from ..baselines.benor import BenOrDecide, PVote, RVote
+    from ..baselines.bv_broadcast import BvValue
+    from ..baselines.mmr14 import AuxMsg, MmrDecide
+    from ..core.broadcast import RbcMessage
+    from ..core.coin import CoinShareMsg
+    from ..core.consensus import DecideMsg
+    from ..crypto.dealer import SignedShare
+    from ..crypto.shamir import Share
+    from ..net.links import FifoPacket
+    from ..net.secure import SealedPacket
+    from ..types import Phase, Step, StepValue
+
+    for cls in (
+        RbcMessage,
+        StepValue,
+        DecideMsg,
+        CoinShareMsg,
+        SignedShare,
+        Share,
+        RVote,
+        PVote,
+        BenOrDecide,
+        BvValue,
+        AuxMsg,
+        MmrDecide,
+        FifoPacket,
+        SealedPacket,
+    ):
+        register_message(cls)
+    register_enum(Phase)
+    register_enum(Step)
+
+
+_register_builtin_types()

@@ -1,0 +1,175 @@
+"""Bridging synchronous protocol modules onto async transports.
+
+The protocol classes are deterministic state machines driven through two
+sim-facing entry points — ``start()`` and ``deliver(sender, payload)`` —
+and they emit messages *synchronously* by calling ``network.send`` while
+handling a delivery.  Nothing in them may block or await.
+
+:class:`NodeNetwork` satisfies the network surface those classes use
+(``send``, ``register``, ``rng``, ``now``, ``trace_note`` — see
+:class:`repro.sim.network.NetworkAPI`), but instead of scheduling into a
+simulator it buffers outbound messages in an outbox.  :class:`Node`
+owns the event-loop side: one task awaits the transport inbox, feeds
+each inbound message to the process, then flushes the outbox to the
+transport.  Protocol code therefore runs *unmodified* in both worlds;
+asynchrony now comes from task/socket interleaving instead of a seeded
+scheduler.
+
+Every node derives its randomness from the same master seed, exactly as
+the simulator's shared :class:`~repro.sim.rng.SplitRng` does — so a
+seeded local-coin sequence is identical under the simulator and under
+any runtime transport, which is what makes the sim-vs-runtime parity
+tests meaningful.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from ..errors import ReproError
+from ..params import ProtocolParams
+from ..sim.metrics import Metrics
+from ..sim.process import Process
+from ..sim.rng import SplitRng
+from ..sim.trace import NullTrace
+from ..types import ProcessId
+from .transport import Transport, TransportClosed
+
+
+class NodeNetwork:
+    """Per-node stand-in for the simulator's network.
+
+    Implements the :class:`~repro.sim.network.NetworkAPI` surface that
+    :class:`~repro.sim.process.Process`, coin sources, and Byzantine
+    behaviors consume.  ``send`` is synchronous and merely enqueues; the
+    owning :class:`Node` drains the outbox onto the real transport after
+    every protocol activation.
+    """
+
+    def __init__(self, pid: ProcessId, params: ProtocolParams, seed: int = 0):
+        self.pid = pid
+        self.params = params
+        self.rng = SplitRng(seed)
+        self.metrics = Metrics()
+        self.trace = NullTrace()
+        self.processes: dict[ProcessId, Any] = {}
+        self.outbox: Deque[Tuple[ProcessId, Any]] = deque()
+        self._clock_zero = time.monotonic()
+
+    # -- NetworkAPI ----------------------------------------------------------
+
+    def register(self, process: Any) -> None:
+        if process.pid != self.pid:
+            raise ReproError(
+                f"node {self.pid} cannot host a process claiming pid {process.pid}"
+            )
+        self.processes[process.pid] = process
+
+    def send(self, source: ProcessId, dest: ProcessId, payload: Any) -> None:
+        # ``source`` is advisory here exactly as in the simulator: the
+        # transport attributes traffic to the node's own pid, so a stack
+        # (or a Byzantine behavior) cannot forge another identity.
+        self.metrics.record_send(self.pid, payload)
+        self.outbox.append((dest, payload))
+
+    def now(self) -> float:
+        """Wall-clock seconds since this node booted (measurement only)."""
+        return time.monotonic() - self._clock_zero
+
+    def trace_note(self, pid: Optional[ProcessId], detail: Any) -> None:
+        self.trace.note(self.now(), pid, detail)
+
+    # -- node-side plumbing ---------------------------------------------------
+
+    def drain(self) -> list[Tuple[ProcessId, Any]]:
+        out = list(self.outbox)
+        self.outbox.clear()
+        return out
+
+
+class Node:
+    """One cluster member: a protocol target pumped by an async run loop.
+
+    The *target* is anything with the sim-facing interface —
+    ``start()`` + ``deliver(sender, payload)`` — i.e. a correct
+    :class:`~repro.sim.process.Process` or any Byzantine behavior from
+    :mod:`repro.adversary.behaviors`.
+
+    ``on_activation`` is the cluster's hook, invoked after every
+    activation (start, proposal, delivery) so it can check decision
+    predicates without polling.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        network: NodeNetwork,
+        transport: Transport,
+        target: Any,
+        on_activation: Optional[Callable[["Node"], None]] = None,
+    ):
+        if transport.pid != pid:
+            raise ReproError(f"node {pid} given transport of node {transport.pid}")
+        self.pid = pid
+        self.network = network
+        self.transport = transport
+        self.target = target
+        self.on_activation = on_activation
+        self.started = asyncio.Event()
+        self.stopped = asyncio.Event()
+        self.activations = 0
+        self.crashed: Optional[BaseException] = None
+        self._proposals: Deque[Callable[[], None]] = deque()
+
+    # -- cluster-side controls ------------------------------------------------
+
+    def queue_action(self, action: Callable[[], None]) -> None:
+        """Schedule a synchronous protocol action (e.g. ``propose``) to run
+        inside the node's own task, before it consumes its inbox."""
+        self._proposals.append(action)
+
+    # -- the run loop ---------------------------------------------------------
+
+    async def run(self) -> None:
+        """Start the target, then pump inbound messages until closed."""
+        try:
+            self.target.start()
+            await self._after_activation()
+            self.started.set()
+            while True:
+                while self._proposals:
+                    self._proposals.popleft()()
+                    await self._after_activation()
+                sender, payload = await self.transport.recv()
+                self.target.deliver(sender, payload)
+                await self._after_activation()
+        except TransportClosed:
+            pass
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # surface crashes to the cluster
+            self.crashed = exc
+            raise
+        finally:
+            self.stopped.set()
+            # Wake the cluster's waiter so a crash surfaces immediately
+            # instead of after its liveness timeout.
+            if self.on_activation is not None:
+                self.on_activation(self)
+
+    async def _after_activation(self) -> None:
+        self.activations += 1
+        # The callback runs *before* the outbox drain: draining awaits,
+        # and the cluster's waiter may observe protocol state (e.g. the
+        # decision) at that yield point — the callback must have seen it
+        # first or decision timestamps would be lost.
+        if self.on_activation is not None:
+            self.on_activation(self)
+        for dest, payload in self.network.drain():
+            await self.transport.send(dest, payload)
+
+
+__all__ = ["Node", "NodeNetwork"]

@@ -1,0 +1,255 @@
+"""Length-prefixed JSON over TCP, authenticated with pairwise MACs.
+
+Wire format, one frame per protocol message::
+
+    4 bytes big-endian length | JSON body
+
+    body = {"src": <pid>, "dst": <pid>, "body": <codec-encoded payload>,
+            "mac": "<hex HMAC-SHA256 tag>"}
+
+The MAC comes from :mod:`repro.net.auth` — the same pairwise-key
+machinery the link-layer tests exercise — computed over the canonical
+JSON text of the encoded payload, with the key of the (claimed source,
+destination) pair.  The tag already binds source and destination (see
+:meth:`repro.net.auth.Authenticator.tag`), so a frame cannot be
+redirected to another link or claimed by another sender without
+detection.  Tampered, malformed, or misaddressed frames increment
+``rejected`` and are dropped silently, which is precisely what the
+protocols' authenticated-link assumption permits a real network to do
+to garbage.
+
+Duplicates are *not* filtered (there are no sequence numbers): Bracha's
+protocols are idempotent per (sender, message), a property the fuzzer
+behavior tests aggressively, so replay on a link is harmless.
+
+Each node owns one :class:`TcpTransport`: an ``asyncio`` server for
+inbound peers plus one lazily-retried outbound connection per peer.
+Sends to self short-circuit into the local inbox — a process does not
+need a socket to talk to itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ReproError
+from ..net.auth import KeyRing
+from ..types import ProcessId
+from . import codec
+from .transport import InboxTransport
+
+#: Hard cap on frame size; a Byzantine peer must not be able to make a
+#: correct node allocate unbounded memory from a single length prefix.
+MAX_FRAME = 1 << 20
+
+#: After a failed connection attempt to a peer, don't retry it for this
+#: long — sends to it are dropped instead, keeping the node's run loop
+#: responsive while the peer is down.
+RECONNECT_COOLDOWN = 0.25
+
+_LEN = struct.Struct(">I")
+
+
+class TcpTransport(InboxTransport):
+    """One node's authenticated TCP endpoint.
+
+    Args:
+        pid: this node's identity.
+        n: cluster size (bounds the accepted ``src`` range).
+        keyring: trusted-setup pairwise keys shared by the cluster.
+        host/port: listen address; port 0 picks a free port, exposed as
+            :attr:`address` after :meth:`start` for the peer map.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        keyring: KeyRing,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        super().__init__()
+        self.pid = pid
+        self.n = n
+        self._auth = keyring.authenticator(pid)
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._peers: Dict[ProcessId, Tuple[str, int]] = {}
+        self._writers: Dict[ProcessId, asyncio.StreamWriter] = {}
+        self._retry_after: Dict[ProcessId, float] = {}
+        self._peer_tasks: set = set()
+        self._peer_writers: set = set()
+        self.accepted = 0
+        self.rejected = 0
+        self.dropped = 0
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self._server is not None, "transport not started"
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return (host, port)
+
+    def set_peers(self, peers: Dict[ProcessId, Tuple[str, int]]) -> None:
+        """Install the full pid -> (host, port) map before :meth:`connect`."""
+        self._peers = dict(peers)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_peer, self._host, self._port
+        )
+
+    async def connect(self, retry_for: float = 5.0) -> None:
+        """Open an outbound stream to every peer, retrying while they boot."""
+        for dest in sorted(self._peers):
+            if dest == self.pid:
+                continue
+            await self._open(dest, retry_for)
+
+    async def _open(
+        self, dest: ProcessId, retry_for: float = 0.0
+    ) -> Optional[asyncio.StreamWriter]:
+        """The live outbound stream to ``dest``, (re)connecting if needed.
+
+        ``retry_for > 0`` (the boot-time path) blocks and retries while
+        the peer comes up.  ``retry_for == 0`` (the send path) makes one
+        attempt at most, and none at all during the reconnect cooldown —
+        a dead peer must not stall the node's single run-loop task.
+        """
+        writer = self._writers.get(dest)
+        if writer is not None and not writer.is_closing():
+            return writer
+        host, port = self._peers[dest]
+        loop = asyncio.get_running_loop()
+        if retry_for <= 0 and loop.time() < self._retry_after.get(dest, 0.0):
+            return None
+        deadline = loop.time() + retry_for
+        delay = 0.02
+        while True:
+            try:
+                _reader, writer = await asyncio.open_connection(host, port)
+                break
+            except OSError:
+                if loop.time() >= deadline or self._closed:
+                    self._retry_after[dest] = loop.time() + RECONNECT_COOLDOWN
+                    return None
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, 0.25)
+        self._retry_after.pop(dest, None)
+        self._writers[dest] = writer
+        return writer
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+        # Close inbound connections so their handlers exit via EOF rather
+        # than cancellation (cancelling them makes Python 3.11's stream
+        # machinery log spurious CancelledErrors at loop shutdown).
+        for peer_writer in list(self._peer_writers):
+            peer_writer.close()
+        if self._peer_tasks:
+            await asyncio.wait(list(self._peer_tasks), timeout=1.0)
+        self._peer_tasks.clear()
+        self._peer_writers.clear()
+        self._push_closed()
+
+    # -- data plane ----------------------------------------------------------
+
+    async def send(self, dest: ProcessId, payload: Any) -> None:
+        if self._closed:
+            return
+        if not 0 <= dest < self.n:
+            raise ReproError(f"send to unknown node {dest}")
+        if dest == self.pid:
+            # Self-delivery still crosses the codec so a node counts its
+            # own messages under the same wire constraints as everyone
+            # else's.
+            self._push(self.pid, codec.loads(codec.dumps(payload)))
+            return
+        encoded = codec.encode(payload)
+        mac = self._auth.tag(dest, codec.canonical(encoded))
+        body = json.dumps(
+            {"src": self.pid, "dst": dest, "body": encoded, "mac": mac.hex()},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        writer = await self._open(dest)
+        if writer is None:
+            self.dropped += 1
+            return
+        try:
+            writer.write(_LEN.pack(len(body)) + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            self.dropped += 1
+            self._writers.pop(dest, None)
+
+    # -- inbound path --------------------------------------------------------
+
+    async def _serve_peer(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._peer_tasks.add(task)
+        self._peer_writers.add(writer)
+        try:
+            while True:
+                header = await reader.readexactly(_LEN.size)
+                (length,) = _LEN.unpack(header)
+                if length > MAX_FRAME:
+                    self.rejected += 1
+                    return  # drop the connection: the peer is misbehaving
+                frame = await reader.readexactly(length)
+                self._ingest(frame)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass  # peer hung up; its messages already ingested stay ingested
+        finally:
+            writer.close()
+            self._peer_writers.discard(writer)
+            if task is not None:
+                self._peer_tasks.discard(task)
+
+    def _ingest(self, frame: bytes) -> None:
+        """Authenticate and decode one frame; drop it on any defect."""
+        try:
+            body = json.loads(frame.decode("utf-8"))
+            src = body["src"]
+            dst = body["dst"]
+            mac = bytes.fromhex(body["mac"])
+            encoded = body["body"]
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError, RecursionError):
+            # RecursionError: a deeply-nested frame (b"[" * k) must be
+            # dropped like any other garbage, not kill the serve task.
+            self.rejected += 1
+            return
+        if not (isinstance(src, int) and 0 <= src < self.n and dst == self.pid):
+            self.rejected += 1
+            return
+        if not self._auth.verify(src, codec.canonical(encoded), mac):
+            self.rejected += 1
+            return
+        try:
+            payload = codec.decode(encoded)
+        except (codec.CodecError, RecursionError):
+            self.rejected += 1
+            return
+        self.accepted += 1
+        self._push(src, payload)
+
+
+__all__ = ["MAX_FRAME", "TcpTransport"]

@@ -1,0 +1,157 @@
+"""Per-node asynchronous transport endpoints.
+
+A :class:`Transport` is one node's connection to the rest of the
+cluster: an outbound ``send`` attributed to the node's own pid (the
+authenticated-links assumption: a node cannot speak in another's name)
+and an inbound stream consumed with ``recv``.  Delivery between correct
+nodes is reliable and unordered-across-links, exactly the asynchronous
+model of the paper — here the nondeterminism comes from real
+interleaving of tasks or sockets rather than from a seeded scheduler.
+
+:class:`LocalHub` wires ``n`` in-process endpoints over ``asyncio``
+queues — the fastest runtime, used for parity testing against the
+simulator and as the baseline in the transport benchmarks.  The TCP
+implementation lives in :mod:`repro.runtime.tcp`.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+from typing import Any, Dict, Tuple
+
+from ..errors import ReproError
+from ..types import ProcessId
+from . import codec
+
+
+class TransportClosed(ReproError):
+    """Raised by ``recv`` once the endpoint is closed and drained."""
+
+
+class Transport(abc.ABC):
+    """One node's message endpoint.
+
+    Lifecycle: ``await start()`` (bind listeners), ``await connect()``
+    (establish outbound links; a no-op for in-process transports), then
+    ``send``/``recv`` freely, and finally ``await close()``.
+    """
+
+    pid: ProcessId
+
+    async def start(self) -> None:
+        """Bind inbound resources (servers, queues)."""
+
+    async def connect(self) -> None:
+        """Establish outbound links to every peer."""
+
+    @abc.abstractmethod
+    async def send(self, dest: ProcessId, payload: Any) -> None:
+        """Send ``payload`` to ``dest``, attributed to ``self.pid``."""
+
+    @abc.abstractmethod
+    async def recv(self) -> Tuple[ProcessId, Any]:
+        """Await the next inbound ``(sender, payload)``."""
+
+    async def close(self) -> None:
+        """Release resources; pending ``recv`` raises :class:`TransportClosed`."""
+
+
+_CLOSED = object()  # sentinel pushed into inboxes on close
+
+
+class InboxTransport(Transport):
+    """Base for endpoints that deliver through a local ``asyncio.Queue``.
+
+    Subclasses push inbound messages with :meth:`_push` and signal
+    shutdown with :meth:`_push_closed`; ``recv`` and the close-sentinel
+    semantics live here so every transport drains and closes the same
+    way.
+    """
+
+    def __init__(self) -> None:
+        self._inbox: asyncio.Queue = asyncio.Queue()
+        self._closed = False
+        self.delivered = 0
+
+    def _push(self, sender: ProcessId, payload: Any) -> None:
+        self._inbox.put_nowait((sender, payload))
+
+    def _push_closed(self) -> None:
+        self._inbox.put_nowait(_CLOSED)
+
+    async def recv(self) -> Tuple[ProcessId, Any]:
+        item = await self._inbox.get()
+        if item is _CLOSED:
+            raise TransportClosed(f"transport of node {self.pid} closed")
+        self.delivered += 1
+        return item
+
+
+class LocalTransport(InboxTransport):
+    """In-process endpoint wired to its peers through a :class:`LocalHub`.
+
+    With ``codec_check`` enabled on the hub, every payload makes a full
+    encode/decode round trip, so in-process runs exercise the same wire
+    representation as TCP and serialization bugs surface in fast tests.
+    """
+
+    def __init__(self, hub: "LocalHub", pid: ProcessId):
+        super().__init__()
+        self.hub = hub
+        self.pid = pid
+
+    async def send(self, dest: ProcessId, payload: Any) -> None:
+        if self._closed:
+            return  # a closed node's late sends vanish, like a dead socket
+        await self.hub.dispatch(self.pid, dest, payload)
+
+    async def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._push_closed()
+
+
+class LocalHub:
+    """Shared fabric for ``n`` in-process endpoints.
+
+    >>> hub = LocalHub(4)
+    >>> transports = [hub.endpoint(pid) for pid in range(4)]
+    """
+
+    def __init__(self, n: int, codec_check: bool = False):
+        if n < 1:
+            raise ReproError(f"hub needs at least one node, got n={n}")
+        self.n = n
+        self.codec_check = codec_check
+        self._endpoints: Dict[ProcessId, LocalTransport] = {}
+
+    def endpoint(self, pid: ProcessId) -> LocalTransport:
+        if not 0 <= pid < self.n:
+            raise ReproError(f"pid {pid} out of range for n={self.n}")
+        endpoint = self._endpoints.get(pid)
+        if endpoint is None:
+            endpoint = LocalTransport(self, pid)
+            self._endpoints[pid] = endpoint
+        return endpoint
+
+    async def dispatch(self, source: ProcessId, dest: ProcessId, payload: Any) -> None:
+        if not 0 <= dest < self.n:
+            raise ReproError(f"send to unknown node {dest}")
+        if self.codec_check:
+            payload = codec.loads(codec.dumps(payload))
+        self.endpoint(dest)._push(source, payload)
+        # Yield to the event loop so sends interleave with other nodes'
+        # progress instead of letting one node run a long synchronous
+        # burst — closer to real concurrency, and it keeps any single
+        # inbox from starving.
+        await asyncio.sleep(0)
+
+
+__all__ = [
+    "InboxTransport",
+    "LocalHub",
+    "LocalTransport",
+    "Transport",
+    "TransportClosed",
+]

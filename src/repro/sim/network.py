@@ -33,6 +33,26 @@ class Deliverable(Protocol):
     def start(self) -> None: ...
 
 
+class NetworkAPI(Protocol):
+    """What processes and behaviors require of *any* message fabric.
+
+    Both the simulator's :class:`Network` and the asyncio runtime's
+    :class:`~repro.runtime.node.NodeNetwork` satisfy this structural
+    interface, which is what lets the protocol stacks run unmodified in
+    either world.  Protocol code must never rely on anything beyond it.
+    """
+
+    rng: SplitRng
+
+    def register(self, process: Deliverable) -> None: ...
+
+    def send(self, source: ProcessId, dest: ProcessId, payload: Any) -> None: ...
+
+    def now(self) -> float: ...
+
+    def trace_note(self, pid: Optional[ProcessId], detail: Any) -> None: ...
+
+
 class Network:
     """Registry of processes plus the in-flight message set.
 

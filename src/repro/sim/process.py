@@ -23,7 +23,7 @@ from ..params import ProtocolParams
 from ..types import ProcessId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
-    from .network import Network
+    from .network import NetworkAPI
 
 
 class Context:
@@ -110,7 +110,7 @@ class Process:
     def __init__(
         self,
         pid: ProcessId,
-        network: "Network",
+        network: "NetworkAPI",
         params: ProtocolParams,
         register: bool = True,
     ):

@@ -1,0 +1,1 @@
+"""Integration tests: full simulated executions."""

@@ -53,6 +53,12 @@ class TestExamples:
         out = run_example("byzantine_gallery", [2], capsys)
         assert out.count("agreement + validity ok") == 8
 
+    def test_runtime_demo(self, capsys):
+        out = run_example("runtime_demo", [3], capsys)
+        assert "simulator : decision" in out
+        assert "tcp (MACs): decision" in out
+        assert "all three fabrics agree" in out
+
     def test_parameter_sweep(self, capsys):
         out = run_example("parameter_sweep", [2], capsys)
         assert "cheapest cell" in out

@@ -1,0 +1,1 @@
+"""Runtime tests: protocols over asyncio transports."""

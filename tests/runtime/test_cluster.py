@@ -1,0 +1,81 @@
+"""Cluster driver tests: configuration guards, apps, metrics shape."""
+
+import pytest
+
+from repro.errors import ConfigError, LivenessFailure
+from repro.runtime import Cluster, run_cluster_sync
+
+
+def test_acs_over_local_transport():
+    result = run_cluster_sync(4, protocol="acs", transport="local", seed=3)
+    (pids,) = result.decided_values
+    assert len(pids) >= 3, "common subset has at least n-t elements"
+    assert len(result.decisions) == 4
+
+
+def test_many_instances_share_one_broadcast_layer():
+    result = run_cluster_sync(
+        4, protocol="bracha", instances=4, proposals=[0, 1, 1, 0],
+        transport="local", seed=4,
+    )
+    per_node = result.meta["instance_decisions"]
+    assert len(per_node) == 4
+    # Agreement per instance: all nodes hold the same decision vector.
+    vectors = {tuple(v) for v in per_node.values()}
+    assert len(vectors) == 1
+    assert all(bit in (0, 1) for vector in vectors for bit in vector)
+
+
+def test_metrics_are_sim_compatible():
+    result = run_cluster_sync(4, proposals=1, transport="local", seed=5)
+    # The same fields the simulator's RunResult carries, usable by the
+    # same analysis/table code.
+    assert result.messages_sent > 0
+    assert result.messages_delivered > 0
+    assert result.rounds >= 1
+    assert set(result.meta["decision_rounds"]) == {0, 1, 2, 3}
+    kinds = result.meta["messages_by_kind"]
+    assert any(kind.startswith("rbc/") for kind in kinds)
+
+
+def test_dealer_coin_and_two_faced_fault():
+    result = run_cluster_sync(
+        7, protocol="bracha", coin="dealer", transport="local", seed=6,
+        faults={2: "two_faced"},
+    )
+    assert len(result.decided_values) == 1
+    assert sorted(result.decisions) == [0, 1, 3, 4, 5, 6]
+
+
+def test_fault_budget_is_enforced():
+    with pytest.raises(ConfigError):
+        run_cluster_sync(4, faults={1: "silent", 2: "silent"})
+
+
+def test_unknown_transport_and_protocol_are_rejected():
+    with pytest.raises(ConfigError):
+        Cluster(4, transport="carrier-pigeon")
+    with pytest.raises(ConfigError):
+        Cluster(4, protocol="paxos")
+    with pytest.raises(ConfigError):
+        Cluster(4, protocol="mmr14", instances=2)
+    with pytest.raises(ConfigError):
+        Cluster(4, protocol="acs", coin="shares")
+
+
+def test_timeout_surfaces_as_liveness_failure():
+    # All-silent "correct" nodes can never decide; with an aggressive
+    # timeout the driver must fail loudly rather than hang.
+    with pytest.raises(LivenessFailure):
+        run_cluster_sync(
+            4, t=1, proposals=1, seed=8, transport="local",
+            faults={0: "silent", 1: "silent"}, allow_excess_faults=True,
+            timeout=0.3, check=True,
+        )
+
+
+def test_stop_halted_drains_decide_amplification():
+    result = run_cluster_sync(
+        4, proposals=0, seed=9, transport="local", stop="halted"
+    )
+    assert result.halted == {0, 1, 2, 3}

@@ -1,0 +1,1 @@
+"""Unit tests: modules as isolated state machines."""

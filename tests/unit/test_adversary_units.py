@@ -16,6 +16,7 @@ from repro.adversary.strategies import (
     SplitBrainScheduler,
 )
 from repro.core.broadcast import BroadcastLayer, RbcMessage
+from repro.errors import ConfigError
 from repro.params import ProtocolParams
 from repro.sim.events import PendingSet
 from repro.types import Envelope, Phase, StepValue
@@ -154,7 +155,7 @@ class TestMakeBehavior:
         try:
             make_behavior("gremlin", 3, net, PARAMS)  # type: ignore[arg-type]
             raised = False
-        except ValueError:
+        except ConfigError:
             raised = True
         assert raised
 
@@ -163,7 +164,7 @@ class TestMakeBehavior:
         try:
             make_behavior("crash", 3, net, PARAMS)  # type: ignore[arg-type]
             raised = False
-        except ValueError:
+        except ConfigError:
             raised = True
         assert raised
 
