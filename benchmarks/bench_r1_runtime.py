@@ -7,6 +7,11 @@ message cost per decision for each fabric across system sizes, plus the
 batching effect of running many consensus instances over one shared
 broadcast layer (the shape ACS and later batching work rely on).
 
+Both experiments are expressed as declarative scenarios: one
+:class:`repro.scenario.Scenario` per configuration, with the fabric as
+just another field — the benchmark measures exactly what ``repro run``
+would execute.
+
 Run with ``--smoke`` for the CI-sized subset.
 """
 
@@ -14,9 +19,8 @@ import time
 
 from conftest import run_once
 
-from repro import run_consensus
 from repro.analysis.tables import format_table
-from repro.runtime import run_cluster_sync
+from repro.scenario import Scenario, run
 
 
 def _timed(fn):
@@ -28,32 +32,25 @@ def _timed(fn):
 def test_r1_fabric_comparison(benchmark, table_sink, smoke):
     sizes = [4] if smoke else [4, 7, 10]
     trials = 1 if smoke else 3
+    fabric_labels = {"sim": "simulator", "local": "asyncio", "tcp": "tcp"}
 
     def experiment():
         rows = []
         for n in sizes:
-            for fabric in ("simulator", "asyncio", "tcp"):
+            scenario = Scenario(protocol="bracha", n=n, proposals=1)
+            for fabric, label in fabric_labels.items():
                 total_ms = 0.0
                 messages = 0
                 for trial in range(trials):
                     seed = 100 * n + trial
-                    if fabric == "simulator":
-                        ms, result = _timed(
-                            lambda: run_consensus(n=n, proposals=1, seed=seed)
-                        )
-                    else:
-                        transport = "local" if fabric == "asyncio" else "tcp"
-                        ms, result = _timed(
-                            lambda: run_cluster_sync(
-                                n, proposals=1, seed=seed,
-                                transport=transport, timeout=60.0,
-                            )
-                        )
+                    ms, result = _timed(
+                        lambda: run(scenario, fabric=fabric, seed=seed)
+                    )
                     assert result.decided_values == {1}
                     total_ms += ms
                     messages += result.messages_sent
                 rows.append(
-                    [n, fabric, round(total_ms / trials, 2),
+                    [n, label, round(total_ms / trials, 2),
                      messages // trials]
                 )
         return rows
@@ -85,13 +82,11 @@ def test_r1_instance_batching(benchmark, table_sink, smoke):
     def experiment():
         rows = []
         for instances in batches:
-            ms, result = _timed(
-                lambda: run_cluster_sync(
-                    n, proposals=1, seed=7, transport="local",
-                    instances=instances, timeout=120.0,
-                )
+            scenario = Scenario(
+                protocol="bracha", n=n, proposals=1, seed=7,
+                fabric="local", instances=instances, timeout=120.0,
             )
-            decisions = instances * n
+            ms, result = _timed(lambda: run(scenario))
             rows.append([
                 instances,
                 round(ms, 2),

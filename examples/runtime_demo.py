@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
-"""Runtime demo: the same consensus code on three execution fabrics.
+"""Runtime demo: one declarative scenario on three execution fabrics.
 
-Runs one seeded Bracha instance (n=4, one silent fault) under
+Builds a single :class:`repro.scenario.Scenario` — Bracha, n=4, one
+silent fault — and executes the *same object* under
 
 1. the discrete-event simulator,
 2. the asyncio in-process transport,
 3. authenticated JSON-over-TCP on localhost,
 
-and prints the decision and cost of each — same protocol modules, same
+printing the decision and cost of each — same protocol modules, same
 safety checks, three very different notions of "the network".
 
     python examples/runtime_demo.py [seed]
@@ -15,38 +16,39 @@ safety checks, three very different notions of "the network".
 
 import sys
 
-from repro import run_cluster_sync, run_consensus
-from repro.params import for_system
+from repro.scenario import Scenario, run
 
 
 def main() -> None:
     seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
-    n = 4
-    faults = {3: "silent"}
     # Correct processes are unanimous, so strong validity pins the
     # decision and all three fabrics must produce the same value — a
     # scheduling-independent fact worth asserting in a demo.
-    proposals = [1, 1, 1, 0]
+    scenario = Scenario(
+        name="runtime-demo",
+        protocol="bracha",
+        n=4,
+        proposals=[1, 1, 1, 0],
+        faults={3: "silent"},
+        seed=seed,
+    )
 
-    print("=== one protocol, three fabrics ===")
-    print(f"system: {for_system(n).describe()}")
+    print("=== one scenario, three fabrics ===")
+    print(f"system: {scenario.params.describe()}")
     print(f"inputs: p0=p1=p2=1, p3 silent-Byzantine, seed={seed}")
+    print(f"spec  : {scenario.to_dict()}")
     print()
 
-    sim = run_consensus(n=n, proposals=proposals, faults=faults, seed=seed)
+    sim = run(scenario)  # fabric defaults to "sim"
     print(f"simulator : decision {sorted(sim.decided_values)}, "
           f"{sim.messages_sent} messages, {sim.steps} delivery steps")
 
-    local = run_cluster_sync(
-        n, proposals=proposals, faults=faults, seed=seed, transport="local"
-    )
+    local = run(scenario, fabric="local")
     print(f"asyncio   : decision {sorted(local.decided_values)}, "
           f"{local.messages_sent} messages, "
           f"{local.virtual_time * 1000:.1f} ms wall time")
 
-    tcp = run_cluster_sync(
-        n, proposals=proposals, faults=faults, seed=seed, transport="tcp"
-    )
+    tcp = run(scenario, fabric="tcp")
     rejected = tcp.meta.get("frames_rejected", 0)
     print(f"tcp (MACs): decision {sorted(tcp.decided_values)}, "
           f"{tcp.messages_sent} messages, "

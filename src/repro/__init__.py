@@ -11,12 +11,19 @@ subset, replicated log), and an asyncio runtime that executes the same
 protocol stacks concurrently over in-process queues or authenticated
 JSON-over-TCP (:mod:`repro.runtime`).
 
+Experiments are declarative (:mod:`repro.scenario`): a frozen
+:class:`Scenario` captures protocol, faults, network conditions, and
+execution fabric, and one spec runs on the simulator, asyncio queues,
+or authenticated TCP alike.
+
 Quickstart::
 
-    from repro import run_consensus
+    from repro import Scenario, run_scenario, run_consensus
 
-    result = run_consensus(n=4, proposals=[0, 1, 1, 0], seed=7)
+    result = run_scenario(Scenario(n=4, proposals=[0, 1, 1, 0], seed=7))
     print(result.decided_values)   # {0} or {1} — but always a singleton
+
+    run_consensus(n=4, proposals=[0, 1, 1, 0], seed=7)  # low-level sim entry
 
 See DESIGN.md for the architecture and EXPERIMENTS.md for the
 reproduction of every claim in the paper.
@@ -41,6 +48,14 @@ from .errors import (
 )
 from .params import ProtocolParams, for_system, max_faults
 from .runtime import Cluster, run_cluster, run_cluster_sync
+from .scenario import (
+    CATALOG,
+    Scenario,
+    ScenarioGrid,
+    get_scenario,
+    load_scenario,
+)
+from .scenario import run as run_scenario
 from .sim.runner import Simulation
 from .types import RunResult, StepValue
 
@@ -50,6 +65,7 @@ __all__ = [
     "AgreementViolation",
     "BrachaConsensus",
     "BroadcastLayer",
+    "CATALOG",
     "ConfigError",
     "DealerCoin",
     "DecisionEvent",
@@ -62,17 +78,22 @@ __all__ = [
     "Cluster",
     "RunResult",
     "SafetyViolation",
+    "Scenario",
+    "ScenarioGrid",
     "ShareCoinProvider",
     "Simulation",
     "StepValue",
     "ValidityViolation",
     "__version__",
     "for_system",
+    "get_scenario",
+    "load_scenario",
     "max_faults",
     "repeat_consensus",
     "run_broadcast",
     "run_cluster",
     "run_cluster_sync",
     "run_consensus",
+    "run_scenario",
     "setup_consensus",
 ]

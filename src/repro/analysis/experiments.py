@@ -339,6 +339,22 @@ def run_consensus(
     return result
 
 
+def fill_common_meta(
+    result: RunResult,
+    proposals: Mapping[ProcessId, Any],
+    faulty: Any,
+    sent_by_kind: Mapping[str, int],
+) -> None:
+    """The per-run ``meta`` keys every fabric's collector records —
+    one writer, so the analysis/table code can rely on the shape."""
+    result.meta["proposals"] = dict(proposals)
+    result.meta["faulty"] = sorted(faulty)
+    result.meta["messages_by_kind"] = dict(sent_by_kind)
+    result.meta["decision_rounds"] = {
+        pid: d.round for pid, d in result.decisions.items()
+    }
+
+
 def collect_result(run: ConsensusRun) -> RunResult:
     """Extract a :class:`~repro.types.RunResult` from a finished run."""
     sim = run.sim
@@ -360,12 +376,7 @@ def collect_result(run: ConsensusRun) -> RunResult:
         result.rounds = max(result.rounds, consensus.stats["rounds"])
         coin_flips += consensus.stats["coin_flips"]
     result.meta["coin_flips"] = coin_flips
-    result.meta["proposals"] = dict(run.proposals)
-    result.meta["faulty"] = sorted(run.behaviors)
-    result.meta["messages_by_kind"] = dict(sim.metrics.sent_by_kind)
-    result.meta["decision_rounds"] = {
-        pid: d.round for pid, d in result.decisions.items()
-    }
+    fill_common_meta(result, run.proposals, run.behaviors, sim.metrics.sent_by_kind)
     return result
 
 
@@ -411,6 +422,73 @@ def verify_outcome(
     if len(result.decisions) < len(correct):
         missing = sorted(set(correct) - set(result.decisions))
         fail(LivenessFailure, f"processes never decided: {missing}")
+
+
+def verify_instance_outcomes(
+    proposals: Mapping[ProcessId, Bit],
+    stacks: Mapping[ProcessId, Sequence[Any]],
+    instances: int,
+    result: RunResult,
+    check: bool = True,
+) -> None:
+    """Hold every instance beyond the first to the same
+    :func:`verify_outcome` standard instance 0 already passed —
+    agreement, validity, integrity, and liveness per instance.
+
+    ``stacks`` maps each correct pid to its per-instance decision
+    modules; used by every fabric that batches parallel instances.
+    """
+    for i in range(1, instances):
+        instance_result = RunResult(
+            decisions={
+                pid: Decision(
+                    pid, modules[i].decision, modules[i].decision_round, 0.0
+                )
+                for pid, modules in stacks.items()
+                if modules[i].decided
+            }
+        )
+        verify_outcome(
+            proposals,
+            {pid: modules[i] for pid, modules in stacks.items()},
+            instance_result,
+            check=check,
+        )
+        result.violations.extend(
+            f"instance {i}: {violation}"
+            for violation in instance_result.violations
+        )
+
+
+def verify_acs_outcome(
+    outputs: Mapping[ProcessId, Any],
+    params: Any,
+    result: RunResult,
+    check: bool = True,
+) -> None:
+    """Safety-check a finished ACS execution, however it was driven.
+
+    ``outputs`` maps each finished correct pid to its
+    :class:`~repro.app.acs.AcsOutput`; all fabrics funnel their ACS
+    outcomes through here, checking agreement (identical subsets) and
+    the ``n − t`` minimum subset size.
+    """
+
+    def fail(message: str) -> None:
+        result.violations.append(message)
+        if check:
+            raise AgreementViolation(message)
+
+    distinct = {out.proposals for out in outputs.values()}
+    if len(distinct) > 1:
+        fail(f"ACS outputs diverge: {distinct}")
+    for out in outputs.values():
+        if len(out.proposals) < params.step_quorum:
+            fail(
+                f"ACS output has {len(out.proposals)} elements, "
+                f"need >= {params.step_quorum}"
+            )
+        break
 
 
 def repeat_consensus(trials: int, seed: int = 0, **kwargs: Any) -> list[RunResult]:

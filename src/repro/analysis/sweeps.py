@@ -1,9 +1,16 @@
-"""Parameter sweeps: grid experiments as a library feature.
+"""Parameter sweeps — compatibility wrapper over the scenario grid.
 
-The benchmark suite runs ad-hoc loops; this module packages the same
-pattern for downstream users: declare a grid of configurations, run
-``trials`` seeded executions per cell, and get back aggregated metrics
-plus a ready-to-print table.
+The sweep API predates the declarative scenario layer
+(:mod:`repro.scenario`); grids are now expanded and executed by
+:class:`repro.scenario.grid.ScenarioGrid`, which sweeps *scenario
+fields* and therefore covers fabrics, schedulers, and stop conditions
+too.  :class:`Sweep` remains as the backward-compatible front: data-only
+configurations (the common case) are routed through a scenario grid,
+while configurations carrying live objects — a ``stack`` factory, a
+:class:`~repro.sim.scheduler.Scheduler` instance, a
+:class:`~repro.core.coin.CoinScheme` — fall back to driving
+:func:`~repro.analysis.experiments.run_consensus` directly, since
+callables cannot be captured in a declarative spec.
 
     from repro.analysis.sweeps import Sweep
 
@@ -15,111 +22,57 @@ plus a ready-to-print table.
 
 Every run goes through the checked harness, so a sweep cannot silently
 aggregate unsafe executions; cells whose runs violate safety (possible
-only when the caller opts into ``check=False`` configurations) carry
-their violation counts.
+only when the caller opts into failure tolerance) carry their failure
+counts.  New code should use :class:`~repro.scenario.grid.ScenarioGrid`
+directly.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from ..errors import ConfigError, ReproError
+from ..scenario.grid import (
+    METRICS,
+    _SCENARIO_FIELDS,
+    Cell,
+    ScenarioGrid,
+    SweepResult,
+)
+from ..scenario.spec import Scenario
 from ..sim.rng import derive_seed
 from ..types import RunResult
 from .experiments import run_consensus
-from .stats import Summary, summarize
-from .tables import format_table
 
-#: Metrics extractable from a RunResult, by name.
-METRICS = {
-    "rounds": lambda r: float(r.decision_round()),
-    "total_rounds": lambda r: float(r.rounds),
-    "messages": lambda r: float(r.messages_sent),
-    "steps": lambda r: float(r.steps),
-    "virtual_time": lambda r: float(r.virtual_time),
-    "coin_flips": lambda r: float(r.meta.get("coin_flips", 0)),
-}
+__all__ = [
+    "Cell",
+    "METRICS",
+    "Sweep",
+    "SweepResult",
+    "quick_sweep",
+]
 
+def _declarative(key: str, value: Any) -> bool:
+    """True when (key, value) can live in a frozen Scenario.
 
-@dataclass(frozen=True)
-class Cell:
-    """One grid point: the configuration and its aggregated results."""
-
-    config: Tuple[Tuple[str, Any], ...]
-    results: Tuple[RunResult, ...]
-    failures: int  # runs that raised (only with tolerate_failures=True)
-
-    def metric(self, name: str) -> Summary:
-        if name not in METRICS:
-            raise ConfigError(
-                f"unknown metric {name!r}; choose from {sorted(METRICS)}"
-            )
-        if not self.results:
-            raise ConfigError("cell has no successful runs to summarize")
-        return summarize([METRICS[name](r) for r in self.results])
-
-    def violations(self) -> int:
-        return sum(len(r.violations) for r in self.results)
-
-    @property
-    def label(self) -> Dict[str, Any]:
-        return dict(self.config)
-
-
-@dataclass
-class SweepResult:
-    """All cells of a finished sweep."""
-
-    dimensions: Tuple[str, ...]
-    cells: List[Cell] = field(default_factory=list)
-
-    def table(self, metric: str = "rounds", markdown: bool = False) -> str:
-        """Render one metric across the grid as a table."""
-        headers = list(self.dimensions) + [
-            "trials", "failures", f"{metric} mean", "±95%", "p90", "max",
-        ]
-        rows = []
-        for cell in self.cells:
-            label = cell.label
-            if cell.results:
-                summary = cell.metric(metric)
-                stats_cols = [summary.mean, summary.ci95_half_width,
-                              summary.p90, summary.maximum]
-            else:
-                stats_cols = ["-", "-", "-", "-"]
-            rows.append(
-                [label[d] for d in self.dimensions]
-                + [len(cell.results), cell.failures] + stats_cols
-            )
-        return format_table(headers, rows, markdown=markdown)
-
-    def best(self, metric: str = "rounds") -> Cell:
-        """The cell with the lowest mean of ``metric``."""
-        candidates = [c for c in self.cells if c.results]
-        if not candidates:
-            raise ConfigError("sweep produced no successful cells")
-        return min(candidates, key=lambda c: c.metric(metric).mean)
-
-    def cell(self, **config: Any) -> Cell:
-        """Look up a cell by (a subset of) its configuration."""
-        for candidate in self.cells:
-            label = candidate.label
-            if all(label.get(k) == v for k, v in config.items()):
-                return candidate
-        raise ConfigError(f"no cell matching {config!r}")
+    Any Scenario field routes through the grid; everything else —
+    ``stack``, ``trace``, ``check`` — forces the legacy run_consensus
+    path, as do live objects where a field expects a name.
+    """
+    if key not in _SCENARIO_FIELDS:
+        return False
+    if key in ("coin", "scheduler") and value is not None and not isinstance(value, str):
+        return False  # live CoinScheme / Scheduler objects
+    return True
 
 
 class Sweep:
-    """A grid of ``run_consensus`` configurations.
+    """A grid of consensus configurations (compatibility surface).
 
-    ``add(name, values)`` declares a swept dimension; any keyword
-    accepted by :func:`repro.analysis.experiments.run_consensus` works
-    (``n``, ``t``, ``coin``, ``proposals``, ``faults``, ``stack``...).
-    Fixed arguments go in ``base``.  Per-cell trial seeds derive from
-    the sweep seed and the configuration, so adding a dimension does not
-    reshuffle existing cells.
+    ``add(name, values)`` declares a swept dimension; fixed arguments go
+    in ``base``.  Per-cell trial seeds derive from the sweep seed and the
+    configuration, so adding a dimension does not reshuffle existing
+    cells.  Prefer :class:`repro.scenario.grid.ScenarioGrid` in new code.
     """
 
     def __init__(
@@ -148,16 +101,39 @@ class Sweep:
         self._dimensions.append((name, values))
         return self
 
-    def _configs(self) -> Iterable[Tuple[Tuple[str, Any], ...]]:
-        names = [name for name, _values in self._dimensions]
-        for combo in itertools.product(*(values for _n, values in self._dimensions)):
-            yield tuple(zip(names, combo))
+    def _is_declarative(self) -> bool:
+        pairs = list(self.base.items()) + [
+            (name, value)
+            for name, values in self._dimensions
+            for value in values
+        ]
+        return all(_declarative(key, value) for key, value in pairs)
 
     def run(self) -> SweepResult:
         if not self._dimensions:
             raise ConfigError("declare at least one dimension before running")
-        result = SweepResult(tuple(name for name, _v in self._dimensions))
-        for config in self._configs():
+        if self._is_declarative():
+            # The base stays a mapping so it is validated together with
+            # each cell's swept values (a fault table may only fit the
+            # swept n, for instance), exactly as the legacy engine did.
+            grid = ScenarioGrid(
+                {"max_steps": self.max_steps, **self.base},
+                trials=self.trials, seed=self.seed,
+                tolerate_failures=self.tolerate_failures,
+            )
+            for name, values in self._dimensions:
+                grid.add(name, values)
+            return grid.run()
+        return self._run_legacy()
+
+    def _run_legacy(self) -> SweepResult:
+        """Drive run_consensus directly for non-declarative configs."""
+        import itertools
+
+        names = [name for name, _values in self._dimensions]
+        result = SweepResult(tuple(names))
+        for combo in itertools.product(*(v for _n, v in self._dimensions)):
+            config = tuple(zip(names, combo))
             kwargs: Dict[str, Any] = dict(self.base)
             kwargs.update(dict(config))
             runs: List[RunResult] = []

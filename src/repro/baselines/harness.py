@@ -4,6 +4,13 @@ Every protocol in the repository (Bracha, Ben-Or, MMR-14) is executed
 through the *same* assembly, fault-injection, and safety-checking code
 (:mod:`repro.analysis.experiments`) — only the stack builder differs.
 Measured differences are therefore attributable to the protocols.
+
+The :data:`STACKS` registry here is the single source of stack builders:
+the scenario layer's :class:`~repro.stacks.ProtocolPlan` (and through
+it every execution fabric) assembles single-instance stacks from it.
+:func:`run_protocol` remains the thin simulator-only wrapper; new code
+should declare a :class:`~repro.scenario.Scenario` and call
+:func:`repro.scenario.run`.
 """
 
 from __future__ import annotations

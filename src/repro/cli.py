@@ -1,9 +1,18 @@
 """Command-line interface: run protocol experiments without writing code.
 
+Every subcommand is a thin shell over the declarative scenario API
+(:mod:`repro.scenario`): arguments are assembled into a
+:class:`~repro.scenario.Scenario` and executed by the fabric dispatcher,
+so the CLI, the library, and the test suite all run the exact same code
+paths.
+
 Subcommands:
 
-* ``consensus`` — one checked consensus run of any protocol, with faults,
-  coins, and adversarial schedulers (discrete-event simulator).
+* ``run`` — execute scenario JSON files and/or named catalog entries on
+  whatever fabric each declares (``--fabric`` overrides).
+* ``catalog`` — list the named scenario catalog.
+* ``consensus`` — one checked consensus run of any protocol, with
+  faults, coins, and adversarial schedulers (discrete-event simulator).
 * ``run-net`` — the same protocols executed concurrently on the asyncio
   runtime, over in-process queues or authenticated TCP on localhost.
 * ``broadcast`` — one reliable-broadcast instance (optionally with an
@@ -13,10 +22,12 @@ Subcommands:
 
 Examples::
 
+    python -m repro run examples/scenarios/split_brain.json
+    python -m repro run --name two-faced-equivocator --fabric tcp
+    python -m repro catalog
     python -m repro consensus -n 7 --faults 5:two_faced 6:silent --seed 3
     python -m repro consensus -n 4 --protocol mmr14 --coin dealer
     python -m repro run-net --n 4 --t 1 --transport tcp
-    python -m repro run-net -n 7 --protocol acs --instances 1
     python -m repro broadcast -n 7 --equivocate
     python -m repro attack --trials 20
     python -m repro sweep -n 4 --trials 25 --coin local
@@ -26,122 +37,157 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, List, Optional
 
-from .adversary import (
-    DelayVictimScheduler,
-    SplitBrainScheduler,
-    attack_success_rate,
-)
+from . import __version__
+from .adversary import attack_success_rate
 from .analysis.stats import summarize
 from .analysis.tables import format_table
-from .baselines import run_protocol
 from .errors import ReproError
-from .params import for_system
-from .sim.scheduler import FifoScheduler, RandomDelayScheduler
+from .scenario import (
+    CATALOG,
+    FABRICS,
+    SCHEDULERS,
+    Scenario,
+    get_scenario,
+    load_scenario,
+    parse_faults,
+    parse_proposals,
+)
+from .scenario import repeat as repeat_scenario
+from .scenario import run as run_scenario
+from .stacks import PROTOCOLS
 from . import run_broadcast
 
-
-def _parse_faults(entries: Optional[Sequence[str]]) -> Dict[int, str]:
-    faults: Dict[int, str] = {}
-    for entry in entries or ():
-        pid_text, _, kind = entry.partition(":")
-        try:
-            pid = int(pid_text)
-        except ValueError:
-            raise SystemExit(f"bad fault spec {entry!r}; use PID:KIND")
-        if not kind:
-            raise SystemExit(f"bad fault spec {entry!r}; use PID:KIND")
-        faults[pid] = kind
-    return faults
+# ---------------------------------------------------------------------------
+# Result printing
+# ---------------------------------------------------------------------------
 
 
-def _parse_proposals(text: Optional[str], n: int) -> Any:
-    if text is None:
-        return None
-    if text in ("0", "1"):
-        return int(text)
-    bits = [c for c in text if c in "01"]
-    if len(bits) != n:
-        raise SystemExit(f"--proposals needs {n} bits, got {text!r}")
-    return [int(c) for c in bits]
+def _print_result(scenario: Scenario, result: Any) -> None:
+    params = scenario.params
+    print(f"scenario  : {scenario.name or '<inline>'} (fabric: {scenario.fabric})")
+    print(f"system    : {params.describe()}")
+    print(f"protocol  : {scenario.protocol} (coin: {scenario.coin_name}, "
+          f"instances: {scenario.instances})")
+    print(f"faults    : {scenario.faults_dict() or 'none'}")
+    if scenario.scheduler != "random":
+        print(f"scheduler : {scenario.scheduler} {scenario.scheduler_args_dict()}")
+    if scenario.protocol == "acs":
+        sample = next(iter(result.decisions.values()), None)
+        subset = sorted(sample.value) if sample is not None else "-"
+        print(f"output    : {len(result.decisions)} nodes agreed on subset {subset}")
+    else:
+        print(f"decision  : {sorted(result.decided_values)}")
+        print(f"rounds    : {result.rounds} (decided in {result.decision_round()})")
+    print(f"messages  : {result.messages_sent} sent, "
+          f"{result.messages_delivered} delivered")
+    if "frames_rejected" in result.meta:
+        print(f"rejected  : {result.meta['frames_rejected']} unauthenticated frames")
+    if scenario.fabric == "sim":
+        print(f"steps     : {result.steps}")
+        for pid, round_ in sorted(result.meta.get("decision_rounds", {}).items()):
+            print(f"  p{pid} decided in round {round_}")
+    else:
+        print(f"wall time : {result.virtual_time * 1000:.1f} ms")
+        for pid, latency in sorted(result.meta.get("decision_latency", {}).items()):
+            print(f"  p{pid} decided after {latency * 1000:.1f} ms")
 
 
-def _make_scheduler(name: Optional[str], n: int) -> Any:
-    if name is None or name == "random":
-        return None
-    if name == "fifo":
-        return FifoScheduler()
-    if name == "delay":
-        return RandomDelayScheduler()
-    if name == "victim":
-        return DelayVictimScheduler([0])
-    if name == "split":
-        return SplitBrainScheduler(list(range(n // 2)))
-    raise SystemExit(f"unknown scheduler {name!r}")
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    scenarios: List[Scenario] = []
+    for name in args.name or ():
+        scenarios.append(get_scenario(name))
+    for path in args.scenario or ():
+        scenarios.append(load_scenario(path))
+    if not scenarios:
+        raise ReproError("nothing to run: give scenario file(s) and/or --name")
+
+    overrides = {}
+    if args.fabric is not None:
+        overrides["fabric"] = args.fabric
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+
+    failed = 0
+    for scenario in scenarios:
+        label = scenario.name or "<file>"
+        if args.check:
+            try:
+                run_scenario(scenario, **overrides)
+            except ReproError as exc:
+                failed += 1
+                print(f"FAIL  {label}: {exc}")
+            else:
+                fabric = overrides.get("fabric", scenario.fabric)
+                print(f"ok    {label} [{fabric}]")
+        else:
+            if overrides:
+                scenario = scenario.replace(**overrides)
+            result = run_scenario(scenario)
+            _print_result(scenario, result)
+            print()
+    return 1 if failed else 0
+
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    if args.names:
+        for name in CATALOG:
+            print(name)
+        return 0
+    rows = [
+        [name, s.protocol, s.fabric,
+         f"n={s.n}" + (f" t={s.t}" if s.t is not None else ""),
+         s.description]
+        for name, s in CATALOG.items()
+    ]
+    print(format_table(
+        ["name", "protocol", "fabric", "system", "description"], rows,
+        title=f"scenario catalog ({len(CATALOG)} entries) — "
+              "repro run --name <name>",
+    ))
+    return 0
 
 
 def cmd_consensus(args: argparse.Namespace) -> int:
-    faults = _parse_faults(args.faults)
-    result = run_protocol(
-        args.protocol,
+    scenario = Scenario(
+        protocol=args.protocol,
         n=args.n,
         t=args.t,
         coin=args.coin,
-        proposals=_parse_proposals(args.proposals, args.n),
-        faults=faults,
-        scheduler=_make_scheduler(args.scheduler, args.n),
+        proposals=parse_proposals(args.proposals, args.n),
+        faults=parse_faults(args.faults),
+        scheduler=args.scheduler or "random",
+        fabric="sim",
         seed=args.seed,
         max_steps=args.max_steps,
     )
-    params = for_system(args.n, args.t)
-    print(f"system    : {params.describe()}")
-    print(f"protocol  : {args.protocol} (coin: {args.coin or 'default'})")
-    print(f"faults    : {faults or 'none'}")
-    print(f"decision  : {sorted(result.decided_values)}")
-    print(f"rounds    : {result.rounds} (decided in {result.decision_round()})")
-    print(f"messages  : {result.messages_sent}")
-    print(f"steps     : {result.steps}")
-    for pid, round_ in sorted(result.meta["decision_rounds"].items()):
-        print(f"  p{pid} decided in round {round_}")
+    _print_result(scenario, run_scenario(scenario))
     return 0
 
 
 def cmd_run_net(args: argparse.Namespace) -> int:
-    from .baselines import DEFAULT_COIN
-    from .runtime import run_cluster_sync
-
-    faults = _parse_faults(args.faults)
-    coin = args.coin or DEFAULT_COIN.get(args.protocol, "local")
-    result = run_cluster_sync(
-        args.n,
-        t=args.t,
+    scenario = Scenario(
         protocol=args.protocol,
-        proposals=_parse_proposals(args.proposals, args.n),
-        coin=coin,
-        faults=faults,
-        transport=args.transport,
+        n=args.n,
+        t=args.t,
+        coin=args.coin,
+        proposals=(None if args.protocol == "acs"
+                   else parse_proposals(args.proposals, args.n)),
+        faults=parse_faults(args.faults),
+        fabric=args.transport,
         seed=args.seed,
         instances=args.instances,
         host=args.host,
         base_port=args.base_port,
         timeout=args.timeout,
     )
-    params = for_system(args.n, args.t)
-    print(f"system    : {params.describe()}")
-    print(f"runtime   : {args.transport} transport, protocol {args.protocol} "
-          f"(coin: {coin}, instances: {args.instances})")
-    print(f"faults    : {faults or 'none'}")
-    print(f"decision  : {sorted(result.decided_values)}")
-    if args.protocol != "acs":
-        print(f"rounds    : {result.rounds} (decided in {result.decision_round()})")
-    print(f"messages  : {result.messages_sent} sent, "
-          f"{result.messages_delivered} delivered")
-    if "frames_rejected" in result.meta:
-        print(f"rejected  : {result.meta['frames_rejected']} unauthenticated frames")
-    print(f"wall time : {result.virtual_time * 1000:.1f} ms")
-    for pid, latency in sorted(result.meta["decision_latency"].items()):
-        print(f"  p{pid} decided after {latency * 1000:.1f} ms")
+    _print_result(scenario, run_scenario(scenario))
     return 0
 
 
@@ -180,17 +226,15 @@ def cmd_attack(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from .analysis.experiments import repeat_consensus
-
-    results = repeat_consensus(
-        args.trials,
+    scenario = Scenario(
         n=args.n,
-        proposals=_parse_proposals(args.proposals, args.n),
-        coin=args.coin or "local",
-        faults=_parse_faults(args.faults),
+        proposals=parse_proposals(args.proposals, args.n),
+        coin=args.coin,
+        faults=parse_faults(args.faults),
         seed=args.seed,
         max_steps=args.max_steps,
     )
+    results = repeat_scenario(scenario, args.trials)
     rounds = summarize([float(r.decision_round()) for r in results])
     messages = summarize([float(r.messages_sent) for r in results])
     steps = summarize([float(r.steps) for r in results])
@@ -210,10 +254,18 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Bracha's asynchronous Byzantine consensus (PODC 1984) — experiments",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -221,20 +273,39 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("-n", type=int, default=4, help="number of processes")
         p.add_argument("--seed", type=int, default=0)
 
+    run_p = sub.add_parser(
+        "run",
+        help="execute declarative scenarios (JSON files and/or catalog names)",
+    )
+    run_p.add_argument("scenario", nargs="*", metavar="FILE",
+                       help="scenario JSON file(s)")
+    run_p.add_argument("--name", action="append", metavar="NAME",
+                       help="catalog scenario name (repeatable; see `repro catalog`)")
+    run_p.add_argument("--fabric", choices=list(FABRICS), default=None,
+                       help="override the scenario's declared fabric")
+    run_p.add_argument("--seed", type=int, default=None,
+                       help="override the scenario's seed")
+    run_p.add_argument("--check", action="store_true",
+                       help="terse ok/FAIL per scenario; exit 1 on any failure")
+    run_p.set_defaults(func=cmd_run)
+
+    catalog_p = sub.add_parser("catalog", help="list the named scenario catalog")
+    catalog_p.add_argument("--names", action="store_true",
+                           help="print bare names only (for scripting)")
+    catalog_p.set_defaults(func=cmd_catalog)
+
     consensus = sub.add_parser("consensus", help="one checked consensus run")
     common(consensus)
     consensus.add_argument("--t", type=int, default=None, help="fault bound (default ⌊(n−1)/3⌋)")
     consensus.add_argument("--protocol",
-                           choices=["bracha", "benor", "benor-crash", "mmr14"],
+                           choices=[p for p in PROTOCOLS if p != "acs"],
                            default="bracha")
     consensus.add_argument("--coin", choices=["local", "dealer", "shares"], default=None)
     consensus.add_argument("--proposals", default=None,
                            help="'0'/'1' for unanimity or an n-bit string like 0110")
     consensus.add_argument("--faults", nargs="*", metavar="PID:KIND",
                            help="e.g. 3:silent 2:two_faced")
-    consensus.add_argument("--scheduler",
-                           choices=["random", "fifo", "delay", "victim", "split"],
-                           default=None)
+    consensus.add_argument("--scheduler", choices=sorted(SCHEDULERS), default=None)
     consensus.add_argument("--max-steps", type=int, default=2_000_000)
     consensus.set_defaults(func=cmd_consensus)
 
@@ -255,9 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_net.add_argument("--seed", type=int, default=0)
     run_net.add_argument("--t", type=int, default=None,
                          help="fault bound (default ⌊(n−1)/3⌋)")
-    run_net.add_argument("--protocol",
-                         choices=["bracha", "benor", "benor-crash", "mmr14", "acs"],
-                         default="bracha")
+    run_net.add_argument("--protocol", choices=list(PROTOCOLS), default="bracha")
     run_net.add_argument("--transport", choices=["local", "tcp"], default="local",
                          help="in-process asyncio queues or JSON-over-TCP with MACs")
     run_net.add_argument("--coin", choices=["local", "dealer", "shares"], default=None)

@@ -28,200 +28,25 @@ import asyncio
 import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Union
 
-from ..adversary.behaviors import ByzantineBehavior, dispatch_behavior
+from ..adversary.behaviors import ByzantineBehavior
 from ..analysis.experiments import (
     FaultSpec,
     ProposalSpec,
-    make_coin,
-    normalize_proposals,
+    fill_common_meta,
+    verify_acs_outcome,
+    verify_instance_outcomes,
     verify_outcome,
 )
-from ..app.acs import AcsInstance
-from ..baselines.benor import BenOrConsensus
-from ..baselines.harness import STACKS
-from ..core.broadcast import BroadcastLayer
-from ..core.coin import CoinScheme, LocalCoin
-from ..core.consensus import BrachaConsensus
+from ..core.coin import CoinScheme
 from ..errors import ConfigError, LivenessFailure
 from ..net.auth import KeyRing
-from ..params import ProtocolParams, for_system
-from ..sim.process import Process, ProtocolModule
-from ..sim.rng import derive_seed
+from ..params import for_system
+from ..sim.process import Process
+from ..stacks import PROTOCOLS, ProtocolPlan, build_plan_behavior
 from ..types import Decision, ProcessId, RunResult
 from .node import Node, NodeNetwork
 from .tcp import TcpTransport
 from .transport import LocalHub, Transport
-
-PROTOCOLS = ("bracha", "benor", "benor-crash", "mmr14", "acs")
-
-#: Builds the per-node protocol stack; returns the decision-bearing
-#: modules (one per instance), or the ACS instance.
-_StackBuilder = Callable[[Process], List[Any]]
-
-
-# ---------------------------------------------------------------------------
-# Stack assembly
-# ---------------------------------------------------------------------------
-
-
-def _instance_coin(
-    coin: Union[str, CoinScheme], n: int, t: int, seed: int, index: int
-) -> CoinScheme:
-    """An independent coin scheme for consensus instance ``index``.
-
-    Instance coins must be independent (the ACS construction relies on
-    it), so string specs are re-derived per instance; explicit scheme
-    objects are only accepted for a single instance.
-    """
-    if isinstance(coin, CoinScheme):
-        if index > 0:
-            raise ConfigError("pass a coin *name* when running multiple instances")
-        return coin
-    if coin == "local":
-        return LocalCoin(salt=("inst", index)) if index else LocalCoin()
-    return make_coin(coin, n, t, derive_seed(seed, "inst-coin", index))
-
-
-class _ProtocolPlan:
-    """How to build, propose to, and read out one protocol choice."""
-
-    def __init__(
-        self,
-        protocol: str,
-        params: ProtocolParams,
-        coin: Union[str, CoinScheme],
-        seed: int,
-        instances: int,
-    ):
-        if protocol not in PROTOCOLS:
-            raise ConfigError(
-                f"unknown protocol {protocol!r}; choose from {sorted(PROTOCOLS)}"
-            )
-        if instances < 1:
-            raise ConfigError(f"need at least one instance, got {instances}")
-        if instances > 1 and protocol not in ("bracha", "benor"):
-            raise ConfigError(f"multiple instances are not supported for {protocol!r}")
-        if coin == "shares" and (instances > 1 or protocol == "acs"):
-            # Each share-coin attaches a module under one id; parallel
-            # instances would collide.  Salted local / dealer coins give
-            # the independence parallel instances need.
-            raise ConfigError(
-                "the share-based coin supports a single instance; "
-                "use 'local' or 'dealer' for parallel instances and ACS"
-            )
-        self.protocol = protocol
-        self.params = params
-        self.instances = instances
-        n, t = params.n, params.t
-        if protocol == "acs":
-            # One coin scheme per ABA index, shared by every node —
-            # mirroring the simulator-side ACS assembly.
-            self._acs_coins = [
-                _instance_coin(coin, n, t, seed, j) for j in range(n)
-            ]
-        else:
-            self._coins = [
-                _instance_coin(coin, n, t, seed, i) for i in range(instances)
-            ]
-
-    # -- builders ------------------------------------------------------------
-
-    def build(self, process: Process) -> List[Any]:
-        """Install the stack on ``process``; return decision modules."""
-        if self.protocol == "acs":
-            rbc = BroadcastLayer()
-            process.add_module(rbc)
-            acs = AcsInstance(
-                process, rbc, coin_factory=lambda j: self._acs_coins[j]
-            )
-            return [acs]
-        if self.instances == 1:
-            # Single instance: the simulator harness's own stack builder,
-            # so sim and runtime assemble byte-for-byte the same stack.
-            return [STACKS[self.protocol](process, self._coins[0])]
-        if self.protocol == "bracha":
-            rbc = BroadcastLayer()
-            process.add_module(rbc)
-            modules = []
-            for i in range(self.instances):
-                consensus = BrachaConsensus(
-                    rbc, self._coins[i].attach(process), module_id=f"bracha-{i}"
-                )
-                process.add_module(consensus)
-                modules.append(consensus)
-            return modules
-        # benor (the only other multi-instance protocol, guarded above)
-        modules = []
-        for i in range(self.instances):
-            consensus = BenOrConsensus(
-                self._coins[i].attach(process), module_id=f"benor-{i}"
-            )
-            process.add_module(consensus)
-            modules.append(consensus)
-        return modules
-
-    def propose(self, modules: List[Any], pid: ProcessId, proposal: Any) -> None:
-        if self.protocol == "acs":
-            modules[0].propose(proposal)
-        else:
-            for module in modules:
-                module.propose(proposal)
-
-    # -- readouts ------------------------------------------------------------
-
-    def decided(self, modules: List[Any]) -> bool:
-        if self.protocol == "acs":
-            return modules[0].done
-        return all(m.decided for m in modules)
-
-    def halted(self, modules: List[Any]) -> bool:
-        if self.protocol == "acs":
-            return modules[0].done
-        return all(m.halted for m in modules)
-
-
-# ---------------------------------------------------------------------------
-# Fault injection (runtime mirror of experiments._build_behavior)
-# ---------------------------------------------------------------------------
-
-
-def _build_runtime_behavior(
-    pid: ProcessId,
-    spec: FaultSpec,
-    network: NodeNetwork,
-    params: ProtocolParams,
-    plan: _ProtocolPlan,
-    proposals: Dict[ProcessId, Any],
-) -> ByzantineBehavior:
-    def honest_factory(process: Process, bit: Any) -> None:
-        modules = plan.build(process)
-        process.add_module(_RuntimeProposer(modules, plan, bit))
-
-    return dispatch_behavior(
-        pid, spec, network, params, honest_factory, proposals[pid]
-    )
-
-
-class _RuntimeProposer(ProtocolModule):
-    """Start-time proposer covering every instance of a plan's stack.
-
-    Behaviors wrapping honest stacks (crash, two-faced) cannot be told
-    to propose from outside, so — as in the simulator harness — the
-    proposal is injected by a module's ``start()`` hook.
-    """
-
-    def __init__(self, modules: List[Any], plan: _ProtocolPlan, bit: Any):
-        tag = getattr(modules[0], "module_id", plan.protocol)
-        super().__init__(f"_proposer-{tag}")
-        self._modules = modules
-        self._plan = plan
-        self._bit = bit
-
-    def start(self) -> None:
-        self._plan.propose(self._modules, -1, self._bit)
-
-    def on_message(self, sender: ProcessId, payload: Any) -> None:
-        pass
 
 
 # ---------------------------------------------------------------------------
@@ -274,13 +99,8 @@ class Cluster:
             )
         if transport not in ("local", "tcp"):
             raise ConfigError(f"unknown transport {transport!r}")
-        self.plan = _ProtocolPlan(protocol, self.params, coin, seed, instances)
-        if protocol == "acs":
-            self.proposals: Dict[ProcessId, Any] = {
-                pid: f"req-p{pid}" for pid in range(n)
-            }
-        else:
-            self.proposals = normalize_proposals(proposals, n)
+        self.plan = ProtocolPlan(protocol, self.params, coin, seed, instances)
+        self.proposals: Dict[ProcessId, Any] = self.plan.default_proposals(proposals)
 
         self.nodes: Dict[ProcessId, Node] = {}
         self.stacks: Dict[ProcessId, List[Any]] = {}  # correct nodes only
@@ -306,7 +126,7 @@ class Cluster:
         for pid in range(n):
             network = NodeNetwork(pid, self.params, seed=self.seed)
             if pid in self.faults:
-                behavior = _build_runtime_behavior(
+                behavior = build_plan_behavior(
                     pid, self.faults[pid], network, self.params,
                     self.plan, self.proposals,
                 )
@@ -435,29 +255,9 @@ class Cluster:
         return result
 
     def _verify_instances(self, result: RunResult, check: bool) -> None:
-        """Hold every instance beyond the first to the same
-        :func:`verify_outcome` standard instance 0 already passed —
-        agreement, validity, integrity, and liveness per instance."""
-        for i in range(1, self.instances):
-            instance_result = RunResult(
-                decisions={
-                    pid: Decision(
-                        pid, modules[i].decision, modules[i].decision_round, 0.0
-                    )
-                    for pid, modules in self.stacks.items()
-                    if modules[i].decided
-                }
-            )
-            verify_outcome(
-                self.proposals,
-                {pid: modules[i] for pid, modules in self.stacks.items()},
-                instance_result,
-                check=check,
-            )
-            result.violations.extend(
-                f"instance {i}: {violation}"
-                for violation in instance_result.violations
-            )
+        verify_instance_outcomes(
+            self.proposals, self.stacks, self.instances, result, check=check
+        )
 
     def _crash_check(self) -> None:
         for node in self.nodes.values():
@@ -521,12 +321,7 @@ class Cluster:
         result.meta["transport"] = self.transport_kind
         result.meta["protocol"] = self.protocol
         result.meta["instances"] = self.instances
-        result.meta["proposals"] = dict(self.proposals)
-        result.meta["faulty"] = sorted(self.behaviors)
-        result.meta["messages_by_kind"] = sent_by_kind
-        result.meta["decision_rounds"] = {
-            pid: d.round for pid, d in result.decisions.items()
-        }
+        fill_common_meta(result, self.proposals, self.behaviors, sent_by_kind)
         result.meta["decision_latency"] = dict(self._decision_times)
         if self.instances > 1:
             result.meta["instance_decisions"] = instance_decisions
@@ -537,29 +332,12 @@ class Cluster:
         return result
 
     def _verify_acs(self, result: RunResult, check: bool) -> None:
-        from ..errors import AgreementViolation
-
         outputs = {
             pid: modules[0].output
             for pid, modules in self.stacks.items()
             if modules[0].done
         }
-        distinct = {out.proposals for out in outputs.values()}
-        if len(distinct) > 1:
-            message = f"ACS outputs diverge: {distinct}"
-            result.violations.append(message)
-            if check:
-                raise AgreementViolation(message)
-        for out in outputs.values():
-            if len(out.proposals) < self.params.step_quorum:
-                message = (
-                    f"ACS output has {len(out.proposals)} elements, "
-                    f"need >= {self.params.step_quorum}"
-                )
-                result.violations.append(message)
-                if check:
-                    raise AgreementViolation(message)
-            break
+        verify_acs_outcome(outputs, self.params, result, check=check)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,62 @@
+"""Declarative scenarios: one spec, every fabric.
+
+This package is the repository's single front door for defining and
+executing protocol experiments:
+
+* :class:`Scenario` — a frozen, validated, JSON-round-trippable value
+  object capturing protocol, system size, proposals, coin, faults,
+  network conditions, fabric, batching, seed, and stop condition
+  (:mod:`repro.scenario.spec`);
+* :func:`run` — the fabric dispatcher: the same scenario executes on
+  the discrete-event simulator (``sim``), the asyncio runtime over
+  in-process queues (``local``), or authenticated TCP (``tcp``), all
+  through identical stacks and safety verifiers
+  (:mod:`repro.scenario.runner`);
+* :data:`CATALOG` — named, curated scenarios runnable by name from the
+  CLI and executed wholesale in CI (:mod:`repro.scenario.catalog`);
+* :class:`ScenarioGrid` — sweep expansion over scenario fields
+  (:mod:`repro.scenario.grid`).
+
+Quickstart::
+
+    from repro.scenario import get_scenario, run
+
+    result = run(get_scenario("two-faced-equivocator"))
+    print(result.decided_values)            # a singleton, or run() raises
+"""
+
+from .spec import (
+    COINS,
+    FABRICS,
+    SCHEDULERS,
+    STOPS,
+    Scenario,
+    load_scenario,
+    make_scheduler,
+    parse_faults,
+    parse_proposals,
+)
+from .catalog import CATALOG, catalog_names, get_scenario
+from .grid import Cell, METRICS, ScenarioGrid, SweepResult
+from .runner import repeat, run
+
+__all__ = [
+    "CATALOG",
+    "COINS",
+    "Cell",
+    "FABRICS",
+    "METRICS",
+    "SCHEDULERS",
+    "STOPS",
+    "Scenario",
+    "ScenarioGrid",
+    "SweepResult",
+    "catalog_names",
+    "get_scenario",
+    "load_scenario",
+    "make_scheduler",
+    "parse_faults",
+    "parse_proposals",
+    "repeat",
+    "run",
+]

@@ -1,0 +1,153 @@
+"""The named scenario catalog.
+
+Curated, executable configurations covering the repository's protocol,
+adversary, and fabric space.  Each entry is a plain
+:class:`~repro.scenario.spec.Scenario` value: run one with ``repro run
+--name <entry>`` or :func:`repro.scenario.run`, serialize it with
+``to_dict()``, or use it as the base of a
+:class:`~repro.scenario.grid.ScenarioGrid`.
+
+The catalog doubles as the compatibility matrix: one entry per protocol
+(``unanimous-fast-path``, ``benor-split``, ``crash-majority``,
+``mmr14-dealer``, ``acs-batch``) is fabric-agnostic and is executed on
+``sim``, ``local``, and ``tcp`` by the parity tests, while the
+CI workflow executes every entry so the catalog can never rot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ConfigError
+from .spec import Scenario
+
+CATALOG: Dict[str, Scenario] = {}
+
+
+def _entry(scenario: Scenario) -> Scenario:
+    if not scenario.name:
+        raise ConfigError("catalog scenarios must be named")
+    if scenario.name in CATALOG:
+        raise ConfigError(f"duplicate catalog name {scenario.name!r}")
+    CATALOG[scenario.name] = scenario
+    return scenario
+
+
+# -- one fabric-agnostic entry per protocol ---------------------------------
+
+_entry(Scenario(
+    name="unanimous-fast-path",
+    description="Bracha, n=4, unanimous 1-proposals: decides in one round "
+                "on any fabric (strong validity pins the outcome).",
+    protocol="bracha", n=4, proposals=1, seed=1,
+))
+
+_entry(Scenario(
+    name="benor-split",
+    description="Ben-Or baseline, n=4, split proposals: coin flips break "
+                "the symmetry; agreement/validity checked either way.",
+    protocol="benor", n=4, proposals=(0, 1, 0, 1), seed=5,
+))
+
+_entry(Scenario(
+    name="crash-majority",
+    description="Crash-fault Ben-Or at n=5, t=2 (t < n/2, a regime Byzantine "
+                "protocols cannot touch): one node silent from the start, "
+                "one crashing mid-run.",
+    protocol="benor-crash", n=5, t=2, proposals=(1, 1, 0, 0, 1),
+    faults={3: "silent", 4: {"kind": "crash", "crash_after": 25}}, seed=7,
+))
+
+_entry(Scenario(
+    name="mmr14-dealer",
+    description="MMR-14 ABA with the dealer common coin its termination "
+                "argument requires, split proposals.",
+    protocol="mmr14", n=4, coin="dealer", proposals=(0, 1, 0, 1), seed=3,
+))
+
+_entry(Scenario(
+    name="acs-batch",
+    description="Asynchronous common subset, n=4: every node proposes a "
+                "request payload; all correct nodes output the same >= n-t "
+                "subset.",
+    protocol="acs", n=4, seed=2,
+))
+
+# -- adversary gallery (simulator-scheduled) --------------------------------
+
+_entry(Scenario(
+    name="two-faced-equivocator",
+    description="n=7, t=2 with a two-faced Byzantine process running two "
+                "complete honest stacks; reliable broadcast defeats the "
+                "equivocation.",
+    protocol="bracha", n=7, faults={6: "two_faced"}, seed=11,
+))
+
+_entry(Scenario(
+    name="split-brain-scheduler",
+    description="Near-partition scheduling (cross-group traffic held back) "
+                "combined with a two-faced process — the classic attack on "
+                "unvalidated agreement.",
+    protocol="bracha", n=4, faults={3: "two_faced"},
+    scheduler="split", scheduler_args={"group_a": (0, 1)}, seed=13,
+))
+
+_entry(Scenario(
+    name="shares-coin",
+    description="Bracha over the distributed Rabin-style share coin "
+                "(dealer-free at runtime): threshold reconstruction on the "
+                "critical path.",
+    protocol="bracha", n=4, coin="shares", seed=17,
+))
+
+_entry(Scenario(
+    name="fuzzer-storm",
+    description="n=7, t=2 with two protocol-fuzzing Byzantine processes "
+                "spraying malformed frames; validation shrugs it off.",
+    protocol="bracha", n=7, faults={5: "fuzzer", 6: "fuzzer"}, seed=19,
+))
+
+_entry(Scenario(
+    name="victim-delay-liveness",
+    description="Liveness stress: the scheduler starves node 0's inbound "
+                "traffic for hundreds of deliveries; eventual delivery "
+                "still forces a decision.",
+    protocol="bracha", n=4,
+    scheduler="victim", scheduler_args={"victims": (0,)}, seed=31,
+))
+
+# -- runtime-fabric entries -------------------------------------------------
+
+_entry(Scenario(
+    name="tcp-loopback",
+    description="Four nodes over authenticated JSON-over-TCP on localhost: "
+                "length-prefixed frames, pairwise HMACs, real sockets.",
+    protocol="bracha", n=4, proposals=1, fabric="tcp", seed=23,
+))
+
+_entry(Scenario(
+    name="multi-instance-pipeline",
+    description="Four parallel Bracha instances per node sharing one "
+                "reliable-broadcast layer — the batching shape scaling "
+                "work builds on.",
+    protocol="bracha", n=4, instances=4, proposals=1, fabric="local", seed=29,
+))
+
+
+def catalog_names() -> List[str]:
+    """Catalog entry names, in registration order."""
+    return list(CATALOG)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a catalog entry; unknown names raise ConfigError."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scenario {name!r}; run `repro catalog` to list "
+            f"the {len(CATALOG)} available scenarios"
+        ) from None
+
+
+__all__ = ["CATALOG", "catalog_names", "get_scenario"]

@@ -1,0 +1,224 @@
+"""Fabric-agnostic scenario execution.
+
+:func:`run` is the single entry point that takes a declarative
+:class:`~repro.scenario.spec.Scenario` and executes it on whichever
+fabric it names:
+
+* ``sim`` — the deterministic discrete-event simulator, with the
+  scenario's scheduler as the network adversary;
+* ``local`` — the asyncio runtime over in-process queues;
+* ``tcp`` — the asyncio runtime over authenticated JSON-over-TCP.
+
+All three build their per-process stacks through the same
+:class:`~repro.stacks.ProtocolPlan` and funnel their outcomes through
+the same verifiers (:func:`~repro.analysis.experiments.verify_outcome`
+and friends), so one scenario is directly comparable across fabrics::
+
+    from repro.scenario import Scenario, run
+
+    scenario = Scenario(protocol="bracha", n=4, proposals=1, seed=7)
+    print(run(scenario).decided_values)               # {1} on the simulator
+    print(run(scenario, fabric="tcp").decided_values)  # {1} over real sockets
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..errors import ConfigError, EventBudgetExceeded
+from ..analysis.experiments import (
+    fill_common_meta,
+    verify_acs_outcome,
+    verify_instance_outcomes,
+    verify_outcome,
+)
+from ..sim.process import Process
+from ..sim.rng import derive_seed
+from ..sim.runner import Simulation
+from ..stacks import ProtocolPlan, build_plan_behavior
+from ..types import Decision, ProcessId, RunResult
+from .spec import Scenario
+
+
+def run(scenario: Scenario, check: bool = True, **overrides: Any) -> RunResult:
+    """Execute a scenario on its declared fabric; return a verified result.
+
+    Keyword overrides are scenario fields applied via
+    :meth:`~repro.scenario.spec.Scenario.replace` — ``run(s,
+    fabric="tcp")`` or ``run(s, seed=3)`` run a variant without mutating
+    the spec.  With ``check=True`` safety/liveness violations raise; with
+    ``check=False`` they are recorded in ``result.violations``.
+    """
+    if overrides:
+        scenario = scenario.replace(**overrides)
+    if scenario.fabric == "sim":
+        result = _run_sim(scenario, check)
+    else:
+        result = _run_runtime(scenario, check)
+    result.meta["scenario"] = scenario.name or "<inline>"
+    result.meta["fabric"] = scenario.fabric
+    return result
+
+
+def repeat(
+    scenario: Scenario, trials: int, check: bool = True, **overrides: Any
+) -> List[RunResult]:
+    """Run ``trials`` independent seeded executions of one scenario.
+
+    A ``seed`` override replaces the scenario's own seed as the base the
+    per-trial seeds derive from.
+    """
+    base_seed = overrides.pop("seed", scenario.seed)
+    return [
+        run(scenario, check=check, seed=derive_seed(base_seed, "trial", i),
+            **overrides)
+        for i in range(trials)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# sim fabric
+# ---------------------------------------------------------------------------
+
+
+def _run_sim(scenario: Scenario, check: bool) -> RunResult:
+    params = scenario.params
+    plan = ProtocolPlan(
+        scenario.protocol, params, scenario.coin_name,
+        scenario.seed, scenario.instances,
+    )
+    proposals = plan.default_proposals(scenario.proposals)
+    faults = scenario.faults_dict()
+
+    sim = Simulation(seed=scenario.seed, scheduler=scenario.build_scheduler())
+    stacks: Dict[ProcessId, List[Any]] = {}
+    behaviors: Dict[ProcessId, Any] = {}
+    for pid in range(scenario.n):
+        if pid in faults:
+            behavior = build_plan_behavior(
+                pid, faults[pid], sim.network, params, plan, proposals
+            )
+            sim.network.register(behavior)
+            behaviors[pid] = behavior
+        else:
+            process = Process(pid, sim.network, params)
+            stacks[pid] = plan.build(process)
+
+    sim.start()
+    for pid, modules in stacks.items():
+        plan.propose(modules, pid, proposals[pid])
+
+    if scenario.stop == "decided":
+        until = lambda: all(plan.decided(m) for m in stacks.values())  # noqa: E731
+    elif scenario.stop == "halted":
+        until = lambda: all(plan.halted(m) for m in stacks.values())  # noqa: E731
+    else:  # "quiescent" — drain every message
+        until = None
+
+    budget_exhausted = False
+    try:
+        sim.run(until=until, max_steps=scenario.max_steps)
+    except EventBudgetExceeded:
+        if check:
+            raise
+        budget_exhausted = True
+
+    result = RunResult(
+        steps=sim.steps,
+        messages_sent=sim.metrics.sent,
+        messages_delivered=sim.metrics.delivered,
+        virtual_time=sim.now,
+    )
+    if budget_exhausted:
+        result.violations.append("event budget exhausted (possible livelock)")
+
+    coin_flips = 0
+    for pid, modules in stacks.items():
+        if scenario.protocol == "acs":
+            acs = modules[0]
+            if acs.done:
+                result.decisions[pid] = Decision(pid, acs.output.pids, 0, sim.now)
+            continue
+        head = modules[0]
+        if head.decided:
+            result.decisions[pid] = Decision(
+                pid, head.decision, head.decision_round, sim.now
+            )
+        if plan.halted(modules):
+            result.halted.add(pid)
+        result.rounds = max(result.rounds, max(m.stats["rounds"] for m in modules))
+        coin_flips += sum(m.stats["coin_flips"] for m in modules)
+
+    result.meta["coin_flips"] = coin_flips
+    result.meta["protocol"] = scenario.protocol
+    result.meta["instances"] = scenario.instances
+    fill_common_meta(result, proposals, behaviors, sim.metrics.sent_by_kind)
+
+    if scenario.protocol == "acs":
+        outputs = {
+            pid: modules[0].output
+            for pid, modules in stacks.items() if modules[0].done
+        }
+        verify_acs_outcome(outputs, params, result, check=check)
+        _check_acs_liveness(stacks, result, check)
+    else:
+        verify_outcome(
+            proposals,
+            {pid: modules[0] for pid, modules in stacks.items()},
+            result,
+            check=check,
+        )
+        if scenario.instances > 1:
+            verify_instance_outcomes(
+                proposals, stacks, scenario.instances, result, check=check
+            )
+    return result
+
+
+def _check_acs_liveness(
+    stacks: Dict[ProcessId, List[Any]], result: RunResult, check: bool
+) -> None:
+    missing = sorted(pid for pid, modules in stacks.items() if not modules[0].done)
+    if missing:
+        from ..errors import LivenessFailure
+
+        message = f"ACS never completed at: {missing}"
+        result.violations.append(message)
+        if check:
+            raise LivenessFailure(message)
+
+
+# ---------------------------------------------------------------------------
+# runtime fabrics (local queues / authenticated TCP)
+# ---------------------------------------------------------------------------
+
+
+def _run_runtime(scenario: Scenario, check: bool) -> RunResult:
+    from ..runtime.cluster import run_cluster_sync
+
+    if scenario.stop not in ("decided", "halted"):
+        raise ConfigError(
+            f"stop condition {scenario.stop!r} is not available on the "
+            f"{scenario.fabric!r} fabric"
+        )
+    proposals = None if scenario.protocol == "acs" else scenario.proposals
+    return run_cluster_sync(
+        scenario.n,
+        t=scenario.t,
+        protocol=scenario.protocol,
+        proposals=proposals,
+        coin=scenario.coin_name,
+        faults=scenario.faults_dict(),
+        transport=scenario.fabric,
+        seed=scenario.seed,
+        instances=scenario.instances,
+        host=scenario.host,
+        base_port=scenario.base_port,
+        timeout=scenario.timeout,
+        stop=scenario.stop,
+        check=check,
+        allow_excess_faults=scenario.allow_excess_faults,
+    )
+
+
+__all__ = ["repeat", "run"]

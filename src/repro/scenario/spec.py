@@ -1,0 +1,426 @@
+"""Declarative scenario specifications.
+
+A :class:`Scenario` is a frozen, validated value object capturing
+everything that defines one protocol execution: protocol, system size,
+proposals, coin scheme, fault injection, network conditions, execution
+fabric, instance batching, seed, and stop condition.  Experiments are
+*data*: the same object round-trips through JSON (``to_dict`` /
+``from_dict``), serves as a dictionary key (scenarios are hashable),
+and executes unchanged on every fabric via
+:func:`repro.scenario.run`.
+
+All spec-parsing shared by the CLI subcommands lives here too:
+:func:`parse_faults` (the ``PID:KIND`` syntax), :func:`parse_proposals`
+(``'1'`` / ``'0110'``), and the :data:`SCHEDULERS` registry behind
+:func:`make_scheduler` — one source of truth instead of per-subcommand
+copies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from ..adversary import (
+    DelayVictimScheduler,
+    PartitionScheduler,
+    SplitBrainScheduler,
+)
+from ..analysis.experiments import normalize_proposals
+from ..baselines.harness import DEFAULT_COIN
+from ..errors import ConfigError
+from ..params import ProtocolParams, for_system
+from ..sim.scheduler import (
+    FifoScheduler,
+    RandomDelayScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from ..stacks import PROTOCOLS
+
+FABRICS = ("sim", "local", "tcp")
+STOPS = ("decided", "halted", "quiescent")
+COINS = ("local", "dealer", "shares")
+
+#: Canonical in-object form of one fault spec: ``(("kind", k), ...)``.
+CanonicalFault = Tuple[Tuple[str, Any], ...]
+
+
+# ---------------------------------------------------------------------------
+# Scheduler registry (the "network conditions" knob)
+# ---------------------------------------------------------------------------
+
+#: name -> factory(n, **args) -> Scheduler | None (None = fair random).
+SCHEDULERS: Dict[str, Any] = {
+    "random": lambda n, **args: None,
+    "fifo": lambda n, **args: FifoScheduler(**args),
+    "round-robin": lambda n, **args: RoundRobinScheduler(**args),
+    "delay": lambda n, **args: RandomDelayScheduler(**args),
+    "victim": lambda n, victims=(0,), **args: DelayVictimScheduler(victims, **args),
+    "split": lambda n, group_a=None, **args: SplitBrainScheduler(
+        group_a if group_a is not None else range(n // 2), **args
+    ),
+    "partition": lambda n, group_a=None, **args: PartitionScheduler(
+        group_a if group_a is not None else range(n // 2), **args
+    ),
+}
+
+
+def make_scheduler(
+    name: Optional[str], n: int, **args: Any
+) -> Optional[Scheduler]:
+    """Resolve a scheduler name (plus keyword arguments) to an instance.
+
+    ``None``/``"random"`` return ``None`` — the simulator's fair default.
+    Unknown names and argument mismatches raise
+    :class:`~repro.errors.ConfigError`.
+    """
+    name = name or "random"
+    factory = SCHEDULERS.get(name)
+    if factory is None:
+        raise ConfigError(
+            f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}"
+        )
+    try:
+        return factory(n, **args)
+    except TypeError as exc:
+        raise ConfigError(f"bad arguments for scheduler {name!r}: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# CLI-facing spec parsers (single source of truth for PID:KIND etc.)
+# ---------------------------------------------------------------------------
+
+
+def parse_faults(entries: Optional[Sequence[str]]) -> Dict[int, str]:
+    """Parse ``PID:KIND`` fault entries (e.g. ``["3:silent", "2:two_faced"]``)."""
+    faults: Dict[int, str] = {}
+    for entry in entries or ():
+        pid_text, _, kind = entry.partition(":")
+        try:
+            pid = int(pid_text)
+        except ValueError:
+            raise ConfigError(f"bad fault spec {entry!r}; use PID:KIND") from None
+        if not kind:
+            raise ConfigError(f"bad fault spec {entry!r}; use PID:KIND")
+        faults[pid] = kind
+    return faults
+
+
+def parse_proposals(text: Optional[str], n: int) -> Any:
+    """Parse a proposal string: ``'0'``/``'1'`` for unanimity, or an
+    ``n``-bit string like ``'0110'``; ``None`` keeps the default split."""
+    if text is None:
+        return None
+    if text in ("0", "1"):
+        return int(text)
+    bits = [c for c in text if c in "01"]
+    if len(bits) != n:
+        raise ConfigError(f"proposals need {n} bits, got {text!r}")
+    return [int(c) for c in bits]
+
+
+# ---------------------------------------------------------------------------
+# Canonicalization helpers
+# ---------------------------------------------------------------------------
+
+
+def _freeze(value: Any) -> Any:
+    """Lists/tuples become tuples, recursively — hashable canonical form."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _thaw(value: Any) -> Any:
+    """Tuples become lists, recursively — the JSON-facing form."""
+    if isinstance(value, tuple):
+        return [_thaw(v) for v in value]
+    return value
+
+
+def _canonical_fault(spec: Any) -> CanonicalFault:
+    if isinstance(spec, str):
+        return (("kind", spec),)
+    if isinstance(spec, Mapping):
+        table = dict(spec)
+    elif isinstance(spec, (tuple, list)):  # already (key, value) pairs
+        table = dict(spec)
+    else:
+        raise ConfigError(f"fault spec must be a kind string or mapping: {spec!r}")
+    kind = table.pop("kind", None)
+    if not isinstance(kind, str) or not kind:
+        raise ConfigError(f"fault spec needs a 'kind': {spec!r}")
+    return (("kind", kind),) + tuple(
+        (key, _freeze(table[key])) for key in sorted(table)
+    )
+
+
+def _canonical_faults(faults: Any) -> Tuple[Tuple[int, CanonicalFault], ...]:
+    if faults is None:
+        return ()
+    if isinstance(faults, Mapping):
+        items = faults.items()
+    else:
+        items = tuple(faults)
+    table = {}
+    for pid, spec in items:
+        try:
+            pid = int(pid)
+        except (TypeError, ValueError):
+            raise ConfigError(f"fault pid must be an integer, got {pid!r}") from None
+        table[pid] = _canonical_fault(spec)
+    return tuple(sorted(table.items()))
+
+
+def _canonical_args(args: Any) -> Tuple[Tuple[str, Any], ...]:
+    if args is None:
+        return ()
+    if isinstance(args, Mapping):
+        items = args.items()
+    else:
+        items = tuple(args)
+    return tuple(sorted((str(k), _freeze(v)) for k, v in items))
+
+
+def _canonical_proposals(proposals: Any, n: int) -> Any:
+    if proposals is None:
+        return None
+    if isinstance(proposals, bool):
+        raise ConfigError(f"proposals must be bits, got {proposals!r}")
+    if isinstance(proposals, int):
+        if proposals not in (0, 1):
+            raise ConfigError(f"scalar proposal must be 0 or 1, got {proposals}")
+        return proposals
+    table = normalize_proposals(proposals, n)  # validates coverage and bits
+    return tuple(table[pid] for pid in range(n))
+
+
+# ---------------------------------------------------------------------------
+# The scenario
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative, fabric-agnostic protocol execution.
+
+    Construction canonicalizes (mappings/lists become sorted tuples) and
+    validates; two scenarios built from equivalent specs compare equal
+    and hash equally, and ``from_dict(to_dict(s)) == s`` always holds.
+
+    Fields:
+        protocol: ``bracha`` | ``benor`` | ``benor-crash`` | ``mmr14`` | ``acs``.
+        n, t: system size and fault bound (``t=None`` → ``⌊(n−1)/3⌋``).
+        proposals: ``None`` (split ``pid % 2``), a bit (unanimous), a
+            sequence, or a pid→bit mapping; must be ``None`` for ACS
+            (nodes propose request payloads).
+        coin: ``local`` | ``dealer`` | ``shares``; ``None`` picks the
+            protocol's default (dealer for MMR-14, local otherwise).
+        faults: pid → behavior spec (kind string or ``{"kind": ..., **kw}``).
+        scheduler, scheduler_args: network conditions; ``sim`` fabric only
+            (real transports schedule themselves).
+        fabric: ``sim`` (discrete-event), ``local`` (asyncio queues), or
+            ``tcp`` (authenticated JSON-over-TCP).
+        instances: parallel consensus instances per process (batching).
+        stop: ``decided`` | ``halted`` | ``quiescent`` (sim only).
+        max_steps / timeout: liveness budget (sim steps / runtime seconds).
+        host, base_port: TCP fabric placement (0 = pick free ports).
+    """
+
+    name: str = ""
+    description: str = ""
+    protocol: str = "bracha"
+    n: int = 4
+    t: Optional[int] = None
+    proposals: Any = None
+    coin: Optional[str] = None
+    faults: Any = ()
+    scheduler: str = "random"
+    scheduler_args: Any = ()
+    fabric: str = "sim"
+    instances: int = 1
+    seed: int = 0
+    stop: str = "decided"
+    max_steps: int = 2_000_000
+    timeout: float = 60.0
+    host: str = "127.0.0.1"
+    base_port: int = 0
+    allow_excess_faults: bool = False
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ConfigError(
+                f"unknown protocol {self.protocol!r}; choose from {sorted(PROTOCOLS)}"
+            )
+        if self.fabric not in FABRICS:
+            raise ConfigError(
+                f"unknown fabric {self.fabric!r}; choose from {list(FABRICS)}"
+            )
+        if self.stop not in STOPS:
+            raise ConfigError(
+                f"unknown stop condition {self.stop!r}; choose from {list(STOPS)}"
+            )
+        if self.coin is not None and self.coin not in COINS:
+            raise ConfigError(
+                f"unknown coin scheme {self.coin!r}; choose from {list(COINS)}"
+            )
+        if self.instances < 1:
+            raise ConfigError(f"need at least one instance, got {self.instances}")
+        if self.instances > 1 and self.protocol not in ("bracha", "benor"):
+            raise ConfigError(
+                f"multiple instances are not supported for {self.protocol!r}"
+            )
+        params = for_system(self.n, self.t)  # validates n and t
+
+        object.__setattr__(self, "faults", _canonical_faults(self.faults))
+        object.__setattr__(
+            self, "scheduler_args", _canonical_args(self.scheduler_args)
+        )
+        if self.protocol == "acs":
+            if self.proposals is not None:
+                raise ConfigError(
+                    "ACS scenarios take no proposals; nodes propose request payloads"
+                )
+        else:
+            object.__setattr__(
+                self, "proposals", _canonical_proposals(self.proposals, self.n)
+            )
+
+        for pid, _spec in self.faults:
+            if not 0 <= pid < self.n:
+                raise ConfigError(f"fault pid {pid} out of range")
+        if len(self.faults) > params.t and not self.allow_excess_faults:
+            raise ConfigError(
+                f"{len(self.faults)} faults injected but t={params.t}; "
+                "set allow_excess_faults if the excess is intentional"
+            )
+        if self.scheduler not in SCHEDULERS:
+            raise ConfigError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"choose from {sorted(SCHEDULERS)}"
+            )
+        if self.scheduler == "random" and self.scheduler_args:
+            raise ConfigError(
+                "scheduler_args given but the scheduler is 'random' "
+                "(the fair default takes no arguments) — name a scheduler"
+            )
+        if self.fabric != "sim" and self.scheduler != "random":
+            raise ConfigError(
+                f"scheduler {self.scheduler!r} needs the 'sim' fabric; "
+                "real transports schedule themselves"
+            )
+        if self.fabric != "sim" and self.stop == "quiescent":
+            raise ConfigError("stop condition 'quiescent' needs the 'sim' fabric")
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def params(self) -> ProtocolParams:
+        return for_system(self.n, self.t)
+
+    @property
+    def coin_name(self) -> str:
+        """The effective coin scheme (protocol default when unset)."""
+        return self.coin or DEFAULT_COIN.get(self.protocol, "local")
+
+    def faults_dict(self) -> Dict[int, Any]:
+        """Fault table in the harness's native shape: pid → kind or dict."""
+        out: Dict[int, Any] = {}
+        for pid, spec in self.faults:
+            table = dict(spec)
+            if len(table) == 1:
+                out[pid] = table["kind"]
+            else:
+                out[pid] = {k: _thaw(v) for k, v in table.items()}
+        return out
+
+    def scheduler_args_dict(self) -> Dict[str, Any]:
+        return {k: _thaw(v) for k, v in self.scheduler_args}
+
+    def build_scheduler(self) -> Optional[Scheduler]:
+        """Instantiate the declared network conditions (``sim`` fabric)."""
+        return make_scheduler(self.scheduler, self.n, **self.scheduler_args_dict())
+
+    def replace(self, **changes: Any) -> "Scenario":
+        """A copy with fields changed — revalidated and recanonicalized."""
+        try:
+            return dataclasses.replace(self, **changes)
+        except TypeError as exc:
+            raise ConfigError(f"unknown scenario field: {exc}") from exc
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict, omitting fields left at their defaults."""
+        out: Dict[str, Any] = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value == field.default:
+                continue
+            if field.name == "faults":
+                value = {str(pid): spec for pid, spec in self.faults_dict().items()}
+            elif field.name == "scheduler_args":
+                value = self.scheduler_args_dict()
+            else:
+                value = _thaw(value)
+            out[field.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Build a scenario from a (JSON-decoded) mapping.
+
+        Unknown keys raise :class:`~repro.errors.ConfigError` so typos in
+        scenario files fail loudly rather than silently using defaults.
+        """
+        if not isinstance(data, Mapping):
+            raise ConfigError(f"scenario spec must be a mapping, got {type(data).__name__}")
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown scenario field(s) {unknown}; known fields: {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid scenario JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def load_scenario(path: Any) -> Scenario:
+    """Read a scenario from a JSON file; all failure modes (missing file,
+    bad JSON, unknown fields, invalid values) raise
+    :class:`~repro.errors.ConfigError` naming the file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ConfigError(f"cannot read scenario file {path}: {exc}") from exc
+    try:
+        return Scenario.from_json(text)
+    except ConfigError as exc:
+        raise ConfigError(f"{path}: {exc}") from exc
+
+
+__all__ = [
+    "COINS",
+    "FABRICS",
+    "SCHEDULERS",
+    "STOPS",
+    "Scenario",
+    "load_scenario",
+    "make_scheduler",
+    "parse_faults",
+    "parse_proposals",
+]

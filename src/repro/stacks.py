@@ -1,0 +1,222 @@
+"""Fabric-agnostic protocol stack plans.
+
+A :class:`ProtocolPlan` captures *what* runs on each process — the
+protocol choice (Bracha, Ben-Or and its crash variant, MMR-14, ACS),
+per-instance coin schemes, and multi-instance batching — without caring
+*where* it runs.  The discrete-event simulator (the scenario runner's
+``sim`` fabric) and the asyncio runtime cluster both assemble their
+per-process stacks through the same plan, so a configuration executes
+byte-for-byte the same protocol code on every fabric and the results
+are comparable stack-for-stack.
+
+The plan builds onto a :class:`~repro.sim.process.Process`, which is
+happy on either world's network (anything satisfying
+:class:`~repro.sim.network.NetworkAPI`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Union
+
+from .adversary.behaviors import ByzantineBehavior, dispatch_behavior
+from .analysis.experiments import FaultSpec, make_coin, normalize_proposals
+from .app.acs import AcsInstance
+from .baselines.benor import BenOrConsensus
+from .baselines.harness import STACKS
+from .core.broadcast import BroadcastLayer
+from .core.coin import CoinScheme, LocalCoin
+from .core.consensus import BrachaConsensus
+from .errors import ConfigError
+from .params import ProtocolParams
+from .sim.network import NetworkAPI
+from .sim.process import Process, ProtocolModule
+from .sim.rng import derive_seed
+from .types import ProcessId
+
+PROTOCOLS = ("bracha", "benor", "benor-crash", "mmr14", "acs")
+
+#: Builds the per-process protocol stack; returns the decision-bearing
+#: modules (one per instance), or the ACS instance.
+StackBuilder = Callable[[Process], List[Any]]
+
+
+def instance_coin(
+    coin: Union[str, CoinScheme], n: int, t: int, seed: int, index: int
+) -> CoinScheme:
+    """An independent coin scheme for consensus instance ``index``.
+
+    Instance coins must be independent (the ACS construction relies on
+    it), so string specs are re-derived per instance; explicit scheme
+    objects are only accepted for a single instance.
+    """
+    if isinstance(coin, CoinScheme):
+        if index > 0:
+            raise ConfigError("pass a coin *name* when running multiple instances")
+        return coin
+    if coin == "local":
+        return LocalCoin(salt=("inst", index)) if index else LocalCoin()
+    return make_coin(coin, n, t, derive_seed(seed, "inst-coin", index))
+
+
+class ProtocolPlan:
+    """How to build, propose to, and read out one protocol choice."""
+
+    def __init__(
+        self,
+        protocol: str,
+        params: ProtocolParams,
+        coin: Union[str, CoinScheme],
+        seed: int,
+        instances: int,
+    ):
+        if protocol not in PROTOCOLS:
+            raise ConfigError(
+                f"unknown protocol {protocol!r}; choose from {sorted(PROTOCOLS)}"
+            )
+        if instances < 1:
+            raise ConfigError(f"need at least one instance, got {instances}")
+        if instances > 1 and protocol not in ("bracha", "benor"):
+            raise ConfigError(f"multiple instances are not supported for {protocol!r}")
+        if coin == "shares" and (instances > 1 or protocol == "acs"):
+            # Each share-coin attaches a module under one id; parallel
+            # instances would collide.  Salted local / dealer coins give
+            # the independence parallel instances need.
+            raise ConfigError(
+                "the share-based coin supports a single instance; "
+                "use 'local' or 'dealer' for parallel instances and ACS"
+            )
+        self.protocol = protocol
+        self.params = params
+        self.instances = instances
+        n, t = params.n, params.t
+        if protocol == "acs":
+            # One coin scheme per ABA index, shared by every node —
+            # the same assembly on every fabric.
+            self._acs_coins = [
+                instance_coin(coin, n, t, seed, j) for j in range(n)
+            ]
+        else:
+            self._coins = [
+                instance_coin(coin, n, t, seed, i) for i in range(instances)
+            ]
+
+    # -- builders ------------------------------------------------------------
+
+    def build(self, process: Process) -> List[Any]:
+        """Install the stack on ``process``; return decision modules."""
+        if self.protocol == "acs":
+            rbc = BroadcastLayer()
+            process.add_module(rbc)
+            acs = AcsInstance(
+                process, rbc, coin_factory=lambda j: self._acs_coins[j]
+            )
+            return [acs]
+        if self.instances == 1:
+            # Single instance: the simulator harness's own stack builder,
+            # so every fabric assembles byte-for-byte the same stack.
+            return [STACKS[self.protocol](process, self._coins[0])]
+        if self.protocol == "bracha":
+            rbc = BroadcastLayer()
+            process.add_module(rbc)
+            modules = []
+            for i in range(self.instances):
+                consensus = BrachaConsensus(
+                    rbc, self._coins[i].attach(process), module_id=f"bracha-{i}"
+                )
+                process.add_module(consensus)
+                modules.append(consensus)
+            return modules
+        # benor (the only other multi-instance protocol, guarded above)
+        modules = []
+        for i in range(self.instances):
+            consensus = BenOrConsensus(
+                self._coins[i].attach(process), module_id=f"benor-{i}"
+            )
+            process.add_module(consensus)
+            modules.append(consensus)
+        return modules
+
+    def propose(self, modules: List[Any], pid: ProcessId, proposal: Any) -> None:
+        if self.protocol == "acs":
+            modules[0].propose(proposal)
+        else:
+            for module in modules:
+                module.propose(proposal)
+
+    def default_proposals(self, proposals: Any = None) -> Dict[ProcessId, Any]:
+        """The proposal table every fabric uses for this plan.
+
+        ACS proposes per-node request payloads; the binary protocols
+        normalize ``proposals`` through the harness rules.
+        """
+        if self.protocol == "acs":
+            return {pid: f"req-p{pid}" for pid in range(self.params.n)}
+        return normalize_proposals(proposals, self.params.n)
+
+    # -- readouts ------------------------------------------------------------
+
+    def decided(self, modules: List[Any]) -> bool:
+        if self.protocol == "acs":
+            return modules[0].done
+        return all(m.decided for m in modules)
+
+    def halted(self, modules: List[Any]) -> bool:
+        if self.protocol == "acs":
+            return modules[0].done
+        return all(m.halted for m in modules)
+
+
+class PlanProposer(ProtocolModule):
+    """Start-time proposer covering every instance of a plan's stack.
+
+    Behaviors wrapping honest stacks (crash, two-faced) cannot be told
+    to propose from outside, so the proposal is injected by a module's
+    ``start()`` hook — on every fabric alike.
+    """
+
+    def __init__(self, modules: List[Any], plan: ProtocolPlan, bit: Any):
+        tag = getattr(modules[0], "module_id", plan.protocol)
+        super().__init__(f"_proposer-{tag}")
+        self._modules = modules
+        self._plan = plan
+        self._bit = bit
+
+    def start(self) -> None:
+        self._plan.propose(self._modules, -1, self._bit)
+
+    def on_message(self, sender: ProcessId, payload: Any) -> None:
+        pass
+
+
+def build_plan_behavior(
+    pid: ProcessId,
+    spec: FaultSpec,
+    network: NetworkAPI,
+    params: ProtocolParams,
+    plan: ProtocolPlan,
+    proposals: Dict[ProcessId, Any],
+) -> ByzantineBehavior:
+    """Build a Byzantine behavior whose honest faces run the plan's stack.
+
+    The returned behavior is *not* registered with the network; the
+    caller owns that (the simulator registers it directly, the runtime
+    wraps it in a node).
+    """
+
+    def honest_factory(process: Process, bit: Any) -> None:
+        modules = plan.build(process)
+        process.add_module(PlanProposer(modules, plan, bit))
+
+    return dispatch_behavior(
+        pid, spec, network, params, honest_factory, proposals[pid]
+    )
+
+
+__all__ = [
+    "PROTOCOLS",
+    "PlanProposer",
+    "ProtocolPlan",
+    "StackBuilder",
+    "build_plan_behavior",
+    "instance_coin",
+]
