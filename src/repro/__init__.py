@@ -46,6 +46,7 @@ from .errors import (
     SafetyViolation,
     ValidityViolation,
 )
+from .netem import LinkModel, NetemConfig, Partition
 from .params import ProtocolParams, for_system, max_faults
 from .runtime import Cluster, run_cluster, run_cluster_sync
 from .scenario import (
@@ -69,8 +70,11 @@ __all__ = [
     "ConfigError",
     "DealerCoin",
     "DecisionEvent",
+    "LinkModel",
     "LivenessFailure",
     "LocalCoin",
+    "NetemConfig",
+    "Partition",
     "ProtocolParams",
     "RbcDelivery",
     "RbcMessage",

@@ -28,6 +28,8 @@ Examples::
     python -m repro consensus -n 7 --faults 5:two_faced 6:silent --seed 3
     python -m repro consensus -n 4 --protocol mmr14 --coin dealer
     python -m repro run-net --n 4 --t 1 --transport tcp
+    python -m repro run-net --n 4 --transport tcp --link loss=0.15 --link delay=0.002
+    python -m repro run --name lossy-tcp-retransmit
     python -m repro broadcast -n 7 --equivocate
     python -m repro attack --trials 20
     python -m repro sweep -n 4 --trials 25 --coin local
@@ -52,6 +54,7 @@ from .scenario import (
     get_scenario,
     load_scenario,
     parse_faults,
+    parse_link,
     parse_proposals,
 )
 from .scenario import repeat as repeat_scenario
@@ -73,6 +76,11 @@ def _print_result(scenario: Scenario, result: Any) -> None:
     print(f"faults    : {scenario.faults_dict() or 'none'}")
     if scenario.scheduler != "random":
         print(f"scheduler : {scenario.scheduler} {scenario.scheduler_args_dict()}")
+    if scenario.link or scenario.partitions:
+        conditions = scenario.link_dict()
+        if scenario.partitions:
+            conditions["partitions"] = len(scenario.partitions)
+        print(f"netem     : {conditions}")
     if scenario.protocol == "acs":
         sample = next(iter(result.decisions.values()), None)
         subset = sorted(sample.value) if sample is not None else "-"
@@ -84,6 +92,12 @@ def _print_result(scenario: Scenario, result: Any) -> None:
           f"{result.messages_delivered} delivered")
     if "frames_rejected" in result.meta:
         print(f"rejected  : {result.meta['frames_rejected']} unauthenticated frames")
+    netem = result.meta.get("netem")
+    if netem:
+        print(f"link      : {netem['dropped']} dropped, {netem['delayed']} delayed, "
+              f"{netem['duplicated']} duplicated, "
+              f"{netem['retransmitted']} retransmitted "
+              f"({netem['abandoned']} abandoned)")
     if scenario.fabric == "sim":
         print(f"steps     : {result.steps}")
         for pid, round_ in sorted(result.meta.get("decision_rounds", {}).items()):
@@ -186,6 +200,7 @@ def cmd_run_net(args: argparse.Namespace) -> int:
         host=args.host,
         base_port=args.base_port,
         timeout=args.timeout,
+        link=parse_link(args.link),
     )
     _print_result(scenario, run_scenario(scenario))
     return 0
@@ -336,6 +351,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="e.g. 3:silent 2:two_faced")
     run_net.add_argument("--instances", type=int, default=1,
                          help="parallel consensus instances per node")
+    run_net.add_argument("--link", action="append", metavar="KEY=VALUE",
+                         help="netem link conditions (repeatable), e.g. "
+                              "--link loss=0.1 --link delay=0.005; keys: "
+                              "delay jitter loss duplicate reorder "
+                              "reorder_extra retransmit rto max_retries")
     run_net.add_argument("--host", default="127.0.0.1")
     run_net.add_argument("--base-port", type=int, default=0,
                          help="first TCP port (0 = pick free ports)")

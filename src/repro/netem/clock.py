@@ -1,0 +1,136 @@
+"""Clocks that drive netem delays and retransmission timers.
+
+Every time-dependent piece of the netem subsystem — delayed delivery,
+partition windows, the retransmission scan — reads time and sleeps
+through one of these two clocks rather than touching the wall clock
+directly:
+
+* :class:`WallClock` is real time (``loop.time`` / ``asyncio.sleep``),
+  used on the ``tcp`` fabric where frames cross genuine sockets and
+  latency realism matters more than replayability.
+* :class:`TickClock` is a deterministic virtual clock for the ``local``
+  fabric: one tick elapses per event-loop pass, and sleepers are woken
+  in strict ``(due tick, registration order)`` order.  Because nothing
+  consults the wall clock, two runs of the same seeded scenario execute
+  the exact same interleaving — delayed frames, retransmissions,
+  partition heals and all — which is what makes lossy local runs
+  reproducible enough to use in regression tests.
+
+The tick driver advances unconditionally from :meth:`TickClock.start`
+until :meth:`TickClock.close` — not only while sleepers exist.
+Partition timelines are read off ``now()`` by code that never sleeps
+(the dispatch chokepoint), so a clock that idled without sleepers would
+freeze modeled time and a scripted partition could never heal.  One
+tick models :attr:`TickClock.resolution` seconds (1 ms by default), so
+a scenario's ``delay``/``rto``/partition times mean the same *modeled*
+thing on both fabrics even though local runs compress them onto
+scheduler passes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import math
+from typing import List, Optional, Protocol, Tuple
+
+
+class Clock(Protocol):
+    """The surface netem components program against."""
+
+    def now(self) -> float: ...
+
+    async def sleep(self, seconds: float) -> None: ...
+
+    def start(self) -> None: ...
+
+    async def close(self) -> None: ...
+
+
+class WallClock:
+    """Real time, zeroed at :meth:`start` so partition scripts are
+    relative to the moment traffic can first flow (the cluster starts
+    the clock *after* binding and connecting its transports — setup
+    latency must not eat into a scripted window)."""
+
+    def __init__(self) -> None:
+        self._zero: Optional[float] = None
+
+    def now(self) -> float:
+        if self._zero is None:
+            return 0.0
+        return asyncio.get_running_loop().time() - self._zero
+
+    async def sleep(self, seconds: float) -> None:
+        await asyncio.sleep(seconds)
+
+    def start(self) -> None:
+        if self._zero is None:
+            self._zero = asyncio.get_running_loop().time()
+
+    async def close(self) -> None:
+        pass
+
+
+class TickClock:
+    """Deterministic virtual clock: one tick per event-loop pass."""
+
+    def __init__(self, resolution: float = 0.001):
+        if resolution <= 0:
+            raise ValueError(f"resolution must be positive, got {resolution!r}")
+        self.resolution = resolution
+        self._ticks = 0
+        self._seq = 0
+        self._waiters: List[Tuple[int, int, asyncio.Future]] = []
+        self._closed = False
+        self._driver: Optional[asyncio.Task] = None
+
+    def now(self) -> float:
+        return self._ticks * self.resolution
+
+    async def sleep(self, seconds: float) -> None:
+        if self._closed:
+            return
+        # Every sleep waits at least one tick so a zero-ish delay still
+        # yields — matching the hub's own cooperative-yield discipline.
+        ticks = max(1, math.ceil(seconds / self.resolution - 1e-9))
+        future = asyncio.get_running_loop().create_future()
+        self._seq += 1
+        heapq.heappush(self._waiters, (self._ticks + ticks, self._seq, future))
+        await future
+
+    def start(self) -> None:
+        if self._driver is None:
+            self._driver = asyncio.ensure_future(self._drive())
+
+    async def _drive(self) -> None:
+        # Ticks elapse whether or not anyone is sleeping: partition
+        # timelines are read off now() by non-sleeping code, so an
+        # idle-parking clock would freeze modeled time and a scripted
+        # window could never open or heal.
+        while not self._closed:
+            self._ticks += 1
+            while self._waiters and self._waiters[0][0] <= self._ticks:
+                _due, _seq, future = heapq.heappop(self._waiters)
+                if not future.done():  # a cancelled sleeper just drops out
+                    future.set_result(None)
+            # One tick per pass of the ready queue: everything woken this
+            # tick runs before the next tick can elapse.
+            await asyncio.sleep(0)
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._driver is not None:
+            self._driver.cancel()
+            try:
+                await self._driver
+            except asyncio.CancelledError:
+                pass
+            self._driver = None
+        while self._waiters:
+            _due, _seq, future = heapq.heappop(self._waiters)
+            if not future.done():
+                future.cancel()
+
+
+__all__ = ["Clock", "TickClock", "WallClock"]

@@ -1,0 +1,37 @@
+"""Wire dataclasses of the retransmission layer.
+
+Kept in a leaf module (no imports beyond the standard library) so the
+runtime codec can register them as built-in wire types without pulling
+in the transport layer — :mod:`repro.netem.reliable` holds the logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class LinkFrame:
+    """One retransmittable payload: per-(sender, destination) sequence."""
+
+    seq: int
+    inner: Any
+
+    def __post_init__(self) -> None:
+        if isinstance(self.seq, bool) or not isinstance(self.seq, int) or self.seq < 0:
+            raise ValueError(f"link sequence must be a non-negative int: {self.seq!r}")
+
+
+@dataclass(frozen=True)
+class LinkAck:
+    """Receipt for ``LinkFrame(seq)`` on the reverse link."""
+
+    seq: int
+
+    def __post_init__(self) -> None:
+        if isinstance(self.seq, bool) or not isinstance(self.seq, int) or self.seq < 0:
+            raise ValueError(f"link ack sequence must be a non-negative int: {self.seq!r}")
+
+
+__all__ = ["LinkAck", "LinkFrame"]

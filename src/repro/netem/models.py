@@ -1,0 +1,269 @@
+"""Declarative link-condition models for the runtime fabrics.
+
+A :class:`LinkModel` describes what one directed link between two
+distinct processes may do to a frame: delay it (base plus uniform
+jitter), drop it, duplicate it, or hold it back long enough to reorder
+it behind later traffic.  A :class:`Partition` is a scripted window of
+modeled time during which frames crossing the named groups are dropped
+outright.  :class:`NetemConfig` bundles one model, a partition
+timeline, and the retransmission-layer knobs into the single validated
+value the scenario spec, the cluster driver, and the CLI all share.
+
+Everything here is plain data with eager validation: every invalid
+field raises :class:`~repro.errors.ConfigError` at construction, so a
+bad ``link`` spec in a scenario file fails at load time, not a minute
+into a run.  Self-links (``src == dst``) are never subject to any of
+this — a process's channel to itself is internal state, not network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+
+#: Fields of :class:`LinkModel` that are per-frame probabilities.
+_PROBABILITIES = ("loss", "duplicate", "reorder")
+#: Fields of :class:`LinkModel` that are non-negative durations (seconds).
+_DURATIONS = ("delay", "jitter", "reorder_extra")
+
+
+def _number(spec: Mapping[str, Any], key: str, value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(f"link field {key!r} must be a number, got {value!r}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Per-link frame conditions, netem-style.
+
+    Attributes:
+        delay: base one-way delay in modeled seconds.
+        jitter: extra uniform delay in ``[0, jitter]`` per frame.
+        loss: probability a frame is dropped entirely.
+        duplicate: probability a frame is delivered twice (the copy
+            draws its own delay, so duplicates may arrive out of order).
+        reorder: probability a frame is held back ``reorder_extra``
+            longer than its drawn delay — later frames overtake it.
+        reorder_extra: the hold-back; ``0`` derives a default of
+            ``max(4 * (delay + jitter), 0.002)`` when ``reorder`` is set.
+    """
+
+    delay: float = 0.0
+    jitter: float = 0.0
+    loss: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    reorder_extra: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in _PROBABILITIES:
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ConfigError(
+                    f"link probability {name!r} must be in [0, 1), got {value!r}"
+                )
+        for name in _DURATIONS:
+            value = getattr(self, name)
+            if value < 0.0:
+                raise ConfigError(
+                    f"link duration {name!r} must be >= 0, got {value!r}"
+                )
+        if self.reorder and not self.reorder_extra:
+            derived = max(4.0 * (self.delay + self.jitter), 0.002)
+            object.__setattr__(self, "reorder_extra", derived)
+
+    @property
+    def idle(self) -> bool:
+        """True when this model never touches a frame."""
+        return all(getattr(self, f.name) == 0.0 for f in fields(self))
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One scripted partition window on the modeled-time axis.
+
+    Between ``start`` (inclusive) and ``stop`` (exclusive; ``None`` =
+    never heals), frames are dropped when their endpoints fall in
+    different groups.  Processes not named in any group form one
+    implicit "rest" group: they stay connected to each other but are
+    cut off from every named group.
+    """
+
+    start: float
+    stop: Optional[float]
+    groups: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ConfigError(f"partition start must be >= 0, got {self.start!r}")
+        if self.stop is not None and self.stop <= self.start:
+            raise ConfigError(
+                f"partition must heal after it starts: start={self.start!r} "
+                f"stop={self.stop!r} (use null for a permanent partition)"
+            )
+        if not self.groups:
+            raise ConfigError("partition needs at least one group of pids")
+        side: dict = {}
+        for index, group in enumerate(self.groups):
+            if not group:
+                raise ConfigError("partition groups must not be empty")
+            for pid in group:
+                if isinstance(pid, bool) or not isinstance(pid, int):
+                    raise ConfigError(f"partition pids must be ints, got {pid!r}")
+                if pid in side:
+                    raise ConfigError(f"pid {pid} appears in two partition groups")
+                side[pid] = index
+        # Precomputed pid -> group index: severs() runs once per frame
+        # per partition at the dispatch chokepoint.  Not a dataclass
+        # field, so equality/hash stay derived from the spec alone.
+        object.__setattr__(self, "_side", side)
+
+    def active(self, now: float) -> bool:
+        return now >= self.start and (self.stop is None or now < self.stop)
+
+    def severs(self, src: int, dst: int) -> bool:
+        """True when this partition (if active) separates ``src`` and ``dst``."""
+        return self._side.get(src, -1) != self._side.get(dst, -1)
+
+
+#: Keys a ``link`` spec may carry beyond the LinkModel fields.
+_LAYER_KEYS = ("retransmit", "rto", "max_retries")
+
+
+@dataclass(frozen=True)
+class NetemConfig:
+    """Everything the transports need to emulate one adverse network.
+
+    ``retransmit`` enables the sequence-number/ack layer
+    (:class:`~repro.netem.reliable.ReliableLink`) that makes correct
+    peers eventually deliver under loss; ``rto`` is its retransmission
+    scan interval in modeled seconds and ``max_retries`` bounds resends
+    of a single frame (a peer that never acknowledges — crashed, or
+    partitioned away forever — must not be retried eternally).
+    """
+
+    model: LinkModel = field(default_factory=LinkModel)
+    partitions: Tuple[Partition, ...] = ()
+    retransmit: bool = True
+    rto: float = 0.05
+    max_retries: int = 50
+
+    def __post_init__(self) -> None:
+        if self.rto <= 0:
+            raise ConfigError(f"rto must be positive, got {self.rto!r}")
+        if self.max_retries < 1:
+            raise ConfigError(
+                f"max_retries must be at least 1, got {self.max_retries!r}"
+            )
+        # retransmit=False together with loss/partitions is legal:
+        # breakage experiments want to show non-convergence.
+
+    @classmethod
+    def from_spec(
+        cls,
+        link: Optional[Mapping[str, Any]] = None,
+        partitions: Optional[Sequence[Any]] = None,
+    ) -> Optional["NetemConfig"]:
+        """Build a config from the scenario-file shape; ``None`` = netem off.
+
+        ``link`` is a flat mapping of :class:`LinkModel` fields plus the
+        layer knobs (``retransmit``, ``rto``, ``max_retries``);
+        ``partitions`` is a sequence of ``{"start", "stop", "groups"}``
+        mappings.  Unknown keys and invalid values raise
+        :class:`~repro.errors.ConfigError`.
+        """
+        link = dict(link or {})
+        partition_specs = list(partitions or ())
+        if not link and not partition_specs:
+            return None
+
+        model_names = {f.name for f in fields(LinkModel)}
+        unknown = sorted(set(link) - model_names - set(_LAYER_KEYS))
+        if unknown:
+            raise ConfigError(
+                f"unknown link field(s) {unknown}; known fields: "
+                f"{sorted(model_names | set(_LAYER_KEYS))}"
+            )
+        retransmit = link.pop("retransmit", True)
+        if not isinstance(retransmit, bool):
+            raise ConfigError(
+                f"link field 'retransmit' must be a bool, got {retransmit!r}"
+            )
+        rto = _number(link, "rto", link.pop("rto", 0.05))
+        max_retries = link.pop("max_retries", 50)
+        if isinstance(max_retries, bool) or not isinstance(max_retries, int):
+            raise ConfigError(
+                f"link field 'max_retries' must be an int, got {max_retries!r}"
+            )
+        model = LinkModel(**{k: _number(link, k, v) for k, v in link.items()})
+        return cls(
+            model=model,
+            partitions=tuple(_parse_partition(p) for p in partition_specs),
+            retransmit=retransmit,
+            rto=rto,
+            max_retries=max_retries,
+        )
+
+    def validate_pids(self, n: int) -> None:
+        """Check every partitioned pid against the system size."""
+        for partition in self.partitions:
+            for group in partition.groups:
+                for pid in group:
+                    if not 0 <= pid < n:
+                        raise ConfigError(
+                            f"partition pid {pid} out of range for n={n}"
+                        )
+
+
+def _parse_partition(spec: Any) -> Partition:
+    if isinstance(spec, Partition):
+        return spec
+    if not isinstance(spec, Mapping):
+        raise ConfigError(
+            f"partition spec must be a mapping with start/stop/groups, got {spec!r}"
+        )
+    table = dict(spec)
+    unknown = sorted(set(table) - {"start", "stop", "groups"})
+    if unknown:
+        raise ConfigError(f"unknown partition field(s) {unknown}")
+    if "groups" not in table:
+        raise ConfigError(f"partition spec needs 'groups': {spec!r}")
+    groups = table["groups"]
+    if not isinstance(groups, (list, tuple)):
+        raise ConfigError(f"partition groups must be a list of pid lists: {groups!r}")
+    parsed_groups: List[Tuple[int, ...]] = []
+    for group in groups:
+        if not isinstance(group, (list, tuple)):
+            raise ConfigError(f"each partition group must be a pid list: {group!r}")
+        parsed_groups.append(tuple(group))
+    start = table.get("start", 0.0)
+    stop = table.get("stop", None)
+    if isinstance(start, bool) or not isinstance(start, (int, float)):
+        raise ConfigError(f"partition start must be a number, got {start!r}")
+    if stop is not None and (isinstance(stop, bool) or not isinstance(stop, (int, float))):
+        raise ConfigError(f"partition stop must be a number or null, got {stop!r}")
+    return Partition(
+        start=float(start),
+        stop=None if stop is None else float(stop),
+        groups=tuple(parsed_groups),
+    )
+
+
+def partition_to_spec(partition: Partition) -> Dict[str, Any]:
+    """The JSON-facing shape of one partition (inverse of parsing)."""
+    return {
+        "start": partition.start,
+        "stop": partition.stop,
+        "groups": [list(group) for group in partition.groups],
+    }
+
+
+__all__ = [
+    "LinkModel",
+    "NetemConfig",
+    "Partition",
+    "partition_to_spec",
+]

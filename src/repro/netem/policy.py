@@ -1,0 +1,175 @@
+"""Seeded per-link delivery decisions, shared by every transport.
+
+:class:`LinkPolicy` is the one place a frame's fate is decided.  Both
+runtime fabrics consult it at their send/dispatch chokepoint —
+:meth:`repro.runtime.transport.LocalHub.dispatch` for in-process queues,
+:meth:`repro.runtime.tcp.TcpTransport.send` for sockets — so a scenario's
+``link``/``partitions`` spec means exactly the same thing on either.
+
+Determinism: each directed link draws from its own named stream of the
+policy's :class:`~repro.sim.rng.SplitRng` (``("link", src, dst)``), so
+the verdict sequence on a link depends only on the seed and on that
+link's own frame order — never on how the event loop interleaved other
+links.  The per-frame draw order is fixed (loss, duplicate, then per-copy
+jitter/reorder), which keeps a link's stream aligned frame-for-frame
+across runs.
+
+The policy also owns the per-link counters (frames, dropped by loss,
+dropped by partition, delayed, duplicated, reordered) that the cluster
+aggregates into ``RunResult.meta["netem"]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..sim.rng import SplitRng, derive_seed
+from ..types import ProcessId
+from .models import NetemConfig
+
+
+@dataclass
+class LinkCounters:
+    """What one directed link did to its traffic."""
+
+    frames: int = 0
+    dropped_loss: int = 0
+    dropped_partition: int = 0
+    delayed: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.dropped_loss + self.dropped_partition
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "frames": self.frames,
+            "dropped": self.dropped,
+            "dropped_loss": self.dropped_loss,
+            "dropped_partition": self.dropped_partition,
+            "delayed": self.delayed,
+            "duplicated": self.duplicated,
+            "reordered": self.reordered,
+        }
+
+    def merge(self, other: "LinkCounters") -> None:
+        self.frames += other.frames
+        self.dropped_loss += other.dropped_loss
+        self.dropped_partition += other.dropped_partition
+        self.delayed += other.delayed
+        self.duplicated += other.duplicated
+        self.reordered += other.reordered
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One frame's fate: dropped, or delivered as one delay per copy."""
+
+    dropped: bool = False
+    reason: str = ""  # "loss" | "partition" when dropped
+    delays: Tuple[float, ...] = (0.0,)
+
+
+_PASS = Delivery()
+
+
+class LinkPolicy:
+    """Frame-by-frame link conditions for one cluster run.
+
+    >>> policy = LinkPolicy(4, NetemConfig.from_spec({"loss": 0.2}), seed=7)
+    >>> policy.plan(0, 1, now=0.0)      # doctest: +SKIP
+    Delivery(dropped=False, reason='', delays=(0.0,))
+    """
+
+    def __init__(self, n: int, config: NetemConfig, seed: int = 0):
+        config.validate_pids(n)
+        self.n = n
+        self.config = config
+        self._rng = SplitRng(derive_seed(seed, "netem"))
+        self.links: Dict[Tuple[ProcessId, ProcessId], LinkCounters] = {}
+
+    def _counters(self, src: ProcessId, dst: ProcessId) -> LinkCounters:
+        counters = self.links.get((src, dst))
+        if counters is None:
+            counters = self.links[(src, dst)] = LinkCounters()
+        return counters
+
+    def severed(self, src: ProcessId, dst: ProcessId, now: float) -> bool:
+        """True while an active scripted partition severs ``src -> dst``.
+
+        Read-only (no counters, no stream draws): the retransmission
+        layer uses it to pause resends — and stop charging the retry
+        budget — while a partition is provably the reason a frame cannot
+        get through.
+        """
+        if src == dst:
+            return False
+        return any(
+            p.active(now) and p.severs(src, dst)
+            for p in self.config.partitions
+        )
+
+    def plan(self, src: ProcessId, dst: ProcessId, now: float) -> Delivery:
+        """Decide the fate of one frame from ``src`` to ``dst`` at ``now``."""
+        if src == dst:  # self-delivery never crosses the network
+            return _PASS
+        model = self.config.model
+        counters = self._counters(src, dst)
+        counters.frames += 1
+
+        for partition in self.config.partitions:
+            if partition.active(now) and partition.severs(src, dst):
+                counters.dropped_partition += 1
+                return Delivery(dropped=True, reason="partition")
+
+        stream = self._rng.stream("link", src, dst)
+        if model.loss and stream.random() < model.loss:
+            counters.dropped_loss += 1
+            return Delivery(dropped=True, reason="loss")
+
+        copies = 1
+        if model.duplicate and stream.random() < model.duplicate:
+            copies = 2
+            counters.duplicated += 1
+
+        if model.idle:
+            return _PASS
+        delays = []
+        held_back = False
+        for _ in range(copies):
+            delay = model.delay
+            if model.jitter:
+                delay += stream.uniform(0.0, model.jitter)
+            if model.reorder and stream.random() < model.reorder:
+                delay += model.reorder_extra
+                held_back = True
+            delays.append(delay)
+        # Counters are per *frame*, like every other counter here — a
+        # duplicated frame whose copies are both held back counts once.
+        if held_back:
+            counters.reordered += 1
+        if any(delay > 0 for delay in delays):
+            counters.delayed += 1
+        return Delivery(delays=tuple(delays))
+
+    # -- aggregation ---------------------------------------------------------
+
+    def totals(self) -> LinkCounters:
+        total = LinkCounters()
+        for counters in self.links.values():
+            total.merge(counters)
+        return total
+
+    def per_link(self) -> Dict[str, Dict[str, int]]:
+        """Per-link counters keyed ``"src->dst"``, links with traffic only."""
+        return {
+            f"{src}->{dst}": counters.as_dict()
+            for (src, dst), counters in sorted(self.links.items())
+            if counters.frames
+        }
+
+
+__all__ = ["Delivery", "LinkCounters", "LinkPolicy"]

@@ -1,0 +1,243 @@
+"""Sequence-number/ack retransmission over an unreliable transport.
+
+Under a :class:`~repro.netem.policy.LinkPolicy` that drops frames, the
+raw transports no longer satisfy the paper's model — the asynchronous
+network may delay messages between correct processes arbitrarily but
+must deliver them *eventually*.  :class:`ReliableLink` restores that
+guarantee the textbook way: every outbound payload is wrapped in a
+:class:`LinkFrame` carrying a per-destination sequence number and kept
+in a pending table until the matching :class:`LinkAck` returns; a
+background scan resends frames whose ack is overdue.  The receiver acks
+every frame it sees (acks are themselves unreliable — a lost ack just
+costs one more resend) and filters duplicates, whether the duplicate
+came from the retransmitter or from the link model's own duplication.
+
+The guarantee is deliberately asymmetric, matching the fault model:
+between two *correct* endpoints, loss probability ``p < 1`` plus
+unbounded-in-expectation resends give eventual delivery; a faulty peer
+is owed nothing, so a frame is abandoned after ``max_retries`` resends
+(a crashed or forever-partitioned peer must not pin memory and
+bandwidth eternally — with the default 50 retries the abandonment
+probability for a *live* link is ``loss^50``, beyond negligible).
+
+No ordering is imposed: the protocols are built for an asynchronous
+network and tolerate arbitrary reordering, so frames are delivered
+upward the moment they arrive.  Payloads that are not link frames pass
+through untouched — traffic from peers outside the reliability layer
+remains visible, exactly as a real stack demotes unknown framing to
+best-effort.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Set, Tuple
+
+from ..types import ProcessId
+from .clock import Clock
+from .frames import LinkAck, LinkFrame
+
+if TYPE_CHECKING:
+    # Not imported at runtime: pulling in the transport module here would
+    # close an import cycle (runtime package -> cluster -> netem ->
+    # reliable -> runtime).  ReliableLink implements the Transport
+    # surface structurally instead of by inheritance.
+    from ..runtime.transport import Transport
+
+
+class _Pending:
+    """Book-keeping for one unacknowledged frame."""
+
+    __slots__ = ("frame", "sent_at", "retries")
+
+    def __init__(self, frame: LinkFrame, sent_at: float):
+        self.frame = frame
+        self.sent_at = sent_at
+        self.retries = 0
+
+
+class _SeenWindow:
+    """Duplicate filter for one inbound link: contiguous floor + stragglers."""
+
+    __slots__ = ("floor", "above")
+
+    def __init__(self) -> None:
+        self.floor = 0  # every seq < floor has been delivered
+        self.above: Set[int] = set()
+
+    def add(self, seq: int) -> bool:
+        """Record ``seq``; return True when it is new."""
+        if seq < self.floor or seq in self.above:
+            return False
+        self.above.add(seq)
+        while self.floor in self.above:
+            self.above.remove(self.floor)
+            self.floor += 1
+        return True
+
+
+class ReliableLink:
+    """Wrap any :class:`~repro.runtime.transport.Transport` with
+    per-destination sequencing, acks, dedup, and timed retransmission.
+    Implements the full ``Transport`` surface (structurally, to stay out
+    of the transport module's import graph), so nodes use it unchanged.
+
+    The wrapper is transparent to the node: ``send``/``recv`` carry the
+    protocol payloads; framing, acking, and resends happen underneath.
+    Counters (``retransmitted``, ``abandoned``, ``duplicates_filtered``,
+    ``acks_sent``) feed the run report's netem section.
+    """
+
+    def __init__(
+        self,
+        inner: "Transport",
+        clock: Clock,
+        rto: float = 0.05,
+        max_retries: int = 50,
+        severed: Optional[Callable[[ProcessId, float], bool]] = None,
+    ):
+        self.inner = inner
+        self.pid = inner.pid
+        self.clock = clock
+        self.rto = rto
+        self.max_retries = max_retries
+        # severed(dest, now) -> True while a scripted partition blocks
+        # this link.  Resends pause (and the retry budget is not
+        # charged) for the duration: a partition that later heals must
+        # not exhaust max_retries first — the budget exists for peers
+        # that never answer, not for windows the scenario promised would
+        # close.
+        self._severed = severed
+        self._next_seq: Dict[ProcessId, int] = {}
+        self._pending: Dict[Tuple[ProcessId, int], _Pending] = {}
+        self._seen: Dict[ProcessId, _SeenWindow] = {}
+        self._scan_task: Optional[asyncio.Task] = None
+        self._closed = False
+        self.delivered = 0
+        self.retransmitted = 0
+        self.retransmitted_by_dest: Dict[ProcessId, int] = {}
+        self.abandoned = 0
+        self.duplicates_filtered = 0
+        self.acks_sent = 0
+
+    # -- delegated surface ---------------------------------------------------
+
+    @property
+    def rejected(self) -> int:
+        return getattr(self.inner, "rejected", 0)
+
+    async def start(self) -> None:
+        await self.inner.start()
+        self.start_scan()
+
+    def start_scan(self) -> None:
+        """Launch the retransmission scan (idempotent).
+
+        Split out of :meth:`start` so a cluster that has already
+        started/connected the raw transports can wrap them without
+        re-running their lifecycle.
+        """
+        if self._scan_task is None and not self._closed:
+            self._scan_task = asyncio.ensure_future(self._scan_loop())
+
+    async def connect(self) -> None:
+        await self.inner.connect()
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._scan_task is not None:
+            self._scan_task.cancel()
+            try:
+                await self._scan_task
+            except asyncio.CancelledError:
+                pass
+            self._scan_task = None
+        self._pending.clear()
+        await self.inner.close()
+
+    # -- data plane ----------------------------------------------------------
+
+    async def send(self, dest: ProcessId, payload: Any) -> None:
+        if self._closed:
+            return
+        if dest == self.pid:
+            # Self-delivery is internal; it needs no loss protection and
+            # must not consume link sequence numbers.
+            await self.inner.send(dest, payload)
+            return
+        seq = self._next_seq.get(dest, 0)
+        self._next_seq[dest] = seq + 1
+        frame = LinkFrame(seq, payload)
+        self._pending[(dest, seq)] = _Pending(frame, self.clock.now())
+        await self.inner.send(dest, frame)
+
+    async def recv(self) -> Tuple[ProcessId, Any]:
+        while True:
+            sender, payload = await self.inner.recv()  # raises TransportClosed
+            if isinstance(payload, LinkAck):
+                self._pending.pop((sender, payload.seq), None)
+                continue
+            if isinstance(payload, LinkFrame):
+                # Ack first, even for duplicates: the original ack may be
+                # the thing the link lost.
+                self.acks_sent += 1
+                await self.inner.send(sender, LinkAck(payload.seq))
+                window = self._seen.get(sender)
+                if window is None:
+                    window = self._seen[sender] = _SeenWindow()
+                if not window.add(payload.seq):
+                    self.duplicates_filtered += 1
+                    continue
+                self.delivered += 1
+                return sender, payload.inner
+            # Unframed traffic (e.g. a peer outside the reliability layer)
+            # passes through as-is.
+            self.delivered += 1
+            return sender, payload
+
+    # -- the retransmission scan ---------------------------------------------
+
+    async def _scan_loop(self) -> None:
+        while not self._closed:
+            await self.clock.sleep(self.rto)
+            if self._closed:
+                return
+            now = self.clock.now()
+            # Snapshot: recv() may ack entries away while we await sends.
+            for key, entry in sorted(self._pending.items()):
+                # Exponential backoff (capped at 8x rto): an ack that is
+                # merely slow — a busy receiver drains a deep inbox
+                # before acking — must not burn the retry budget the way
+                # a genuinely dead link does.
+                overdue = self.rto * (1 << min(entry.retries, 3))
+                if now - entry.sent_at < overdue:
+                    continue
+                if self._pending.get(key) is not entry:
+                    continue  # acked meanwhile
+                if self._severed is not None and self._severed(key[0], now):
+                    entry.sent_at = now  # wait out the partition for free
+                    continue
+                if entry.retries >= self.max_retries:
+                    self._pending.pop(key, None)
+                    self.abandoned += 1
+                    continue
+                entry.retries += 1
+                entry.sent_at = now
+                self.retransmitted += 1
+                dest = key[0]
+                self.retransmitted_by_dest[dest] = (
+                    self.retransmitted_by_dest.get(dest, 0) + 1
+                )
+                await self.inner.send(dest, entry.frame)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Frames sent but not yet acknowledged or abandoned."""
+        return len(self._pending)
+
+
+__all__ = ["LinkAck", "LinkFrame", "ReliableLink"]

@@ -40,6 +40,14 @@ from ..analysis.experiments import (
 from ..core.coin import CoinScheme
 from ..errors import ConfigError, LivenessFailure
 from ..net.auth import KeyRing
+from ..netem import (
+    LinkPolicy,
+    NetemConfig,
+    ReliableLink,
+    TickClock,
+    WallClock,
+)
+from ..netem.clock import Clock
 from ..params import for_system
 from ..sim.process import Process
 from ..stacks import PROTOCOLS, ProtocolPlan, build_plan_behavior
@@ -79,6 +87,9 @@ class Cluster:
         base_port: int = 0,
         codec_check: bool = False,
         allow_excess_faults: bool = False,
+        link: Optional[Mapping[str, Any]] = None,
+        partitions: Optional[Any] = None,
+        netem: Optional[NetemConfig] = None,
     ):
         self.params = for_system(n, t)
         self.protocol = protocol
@@ -99,6 +110,13 @@ class Cluster:
             )
         if transport not in ("local", "tcp"):
             raise ConfigError(f"unknown transport {transport!r}")
+        if netem is not None and (link is not None or partitions is not None):
+            raise ConfigError("pass either a NetemConfig or link/partitions specs")
+        self.netem = netem if netem is not None else NetemConfig.from_spec(
+            link, partitions
+        )
+        if self.netem is not None:
+            self.netem.validate_pids(n)
         self.plan = ProtocolPlan(protocol, self.params, coin, seed, instances)
         self.proposals: Dict[ProcessId, Any] = self.plan.default_proposals(proposals)
 
@@ -108,6 +126,8 @@ class Cluster:
         self.transports: Dict[ProcessId, Transport] = {}
         self._tasks: List[asyncio.Task] = []
         self._hub: Optional[LocalHub] = None
+        self._policy: Optional[LinkPolicy] = None
+        self._clock: Optional[Clock] = None
         self._progress = asyncio.Event()
         self._decision_times: Dict[ProcessId, float] = {}
         self._zero = 0.0
@@ -159,22 +179,60 @@ class Cluster:
 
     async def _make_transports(self) -> None:
         n = self.params.n
+        if self.netem is not None:
+            # The local fabric runs on deterministic virtual time (one
+            # tick per event-loop pass); TCP runs on the wall clock.
+            # Started only after the transports are up, so bind/connect
+            # latency cannot eat into scripted partition windows.
+            self._clock = (
+                TickClock() if self.transport_kind == "local" else WallClock()
+            )
+            self._policy = LinkPolicy(n, self.netem, seed=self.seed)
         if self.transport_kind == "local":
-            self._hub = LocalHub(n, codec_check=self.codec_check)
+            self._hub = LocalHub(
+                n, codec_check=self.codec_check,
+                policy=self._policy, clock=self._clock,
+            )
             self.transports = {pid: self._hub.endpoint(pid) for pid in range(n)}
-            return
-        ring = KeyRing(n, master_secret=f"cluster-setup-{self.seed}".encode())
-        endpoints: Dict[ProcessId, TcpTransport] = {}
-        for pid in range(n):
-            port = 0 if self.base_port == 0 else self.base_port + pid
-            endpoints[pid] = TcpTransport(pid, n, ring, host=self.host, port=port)
-        for t in endpoints.values():
-            await t.start()
-        peers = {pid: t.address for pid, t in endpoints.items()}
-        for t in endpoints.values():
-            t.set_peers(peers)
-        await asyncio.gather(*(t.connect() for t in endpoints.values()))
-        self.transports = dict(endpoints)
+        else:
+            ring = KeyRing(n, master_secret=f"cluster-setup-{self.seed}".encode())
+            endpoints: Dict[ProcessId, TcpTransport] = {}
+            for pid in range(n):
+                port = 0 if self.base_port == 0 else self.base_port + pid
+                endpoints[pid] = TcpTransport(
+                    pid, n, ring, host=self.host, port=port,
+                    policy=self._policy, clock=self._clock,
+                )
+            for t in endpoints.values():
+                await t.start()
+            peers = {pid: t.address for pid, t in endpoints.items()}
+            for t in endpoints.values():
+                t.set_peers(peers)
+            await asyncio.gather(*(t.connect() for t in endpoints.values()))
+            self.transports = dict(endpoints)
+        if self.netem is not None:
+            self._clock.start()
+        if self.netem is not None and self.netem.retransmit:
+            # Every node gets the link layer (uniform framing); the
+            # eventual-delivery guarantee it provides only binds between
+            # correct endpoints — a faulty peer may ignore the
+            # discipline, and its unacked frames die after max_retries.
+            # Resends pause for scripted partitions (severed) so the
+            # retry budget is spent on unresponsive peers, not windows
+            # the scenario promised would heal.
+            policy = self._policy
+            self.transports = {
+                pid: ReliableLink(
+                    t, self._clock,
+                    rto=self.netem.rto, max_retries=self.netem.max_retries,
+                    severed=(
+                        lambda dest, now, src=pid: policy.severed(src, dest, now)
+                    ),
+                )
+                for pid, t in self.transports.items()
+            }
+            for t in self.transports.values():
+                t.start_scan()
 
     # -- progress tracking ---------------------------------------------------
 
@@ -265,10 +323,14 @@ class Cluster:
                 raise node.crashed
 
     async def shutdown(self) -> None:
-        """Close transports and cancel all node tasks."""
+        """Close transports, netem machinery, and all node tasks."""
         await asyncio.gather(
             *(t.close() for t in self.transports.values()), return_exceptions=True
         )
+        if self._hub is not None:
+            await self._hub.close()
+        if self._clock is not None:
+            await self._clock.close()
         for task in self._tasks:
             task.cancel()
         await asyncio.gather(*self._tasks, return_exceptions=True)
@@ -329,7 +391,29 @@ class Cluster:
             result.meta["frames_rejected"] = sum(
                 getattr(t, "rejected", 0) for t in self.transports.values()
             )
+        if self._policy is not None:
+            self._collect_netem(result)
         return result
+
+    def _collect_netem(self, result: RunResult) -> None:
+        """Netem totals and per-link counters for the run report."""
+        totals = self._policy.totals().as_dict()
+        per_link = self._policy.per_link()
+        totals.update(
+            retransmitted=0, abandoned=0, duplicates_filtered=0, acks_sent=0
+        )
+        for pid, t in self.transports.items():
+            if not isinstance(t, ReliableLink):
+                continue
+            totals["retransmitted"] += t.retransmitted
+            totals["abandoned"] += t.abandoned
+            totals["duplicates_filtered"] += t.duplicates_filtered
+            totals["acks_sent"] += t.acks_sent
+            for dest, count in t.retransmitted_by_dest.items():
+                link = per_link.setdefault(f"{pid}->{dest}", {})
+                link["retransmitted"] = link.get("retransmitted", 0) + count
+        result.meta["netem"] = totals
+        result.meta["netem_per_link"] = per_link
 
     def _verify_acs(self, result: RunResult, check: bool) -> None:
         outputs = {

@@ -216,6 +216,7 @@ def _register_builtin_types() -> None:
     from ..crypto.shamir import Share
     from ..net.links import FifoPacket
     from ..net.secure import SealedPacket
+    from ..netem.frames import LinkAck, LinkFrame
     from ..types import Phase, Step, StepValue
 
     for cls in (
@@ -233,6 +234,8 @@ def _register_builtin_types() -> None:
         MmrDecide,
         FifoPacket,
         SealedPacket,
+        LinkFrame,
+        LinkAck,
     ):
         register_message(cls)
     register_enum(Phase)

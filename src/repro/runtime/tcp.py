@@ -33,13 +33,17 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
-from typing import Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Set, Tuple
 
 from ..errors import ReproError
 from ..net.auth import KeyRing
 from ..types import ProcessId
 from . import codec
 from .transport import InboxTransport
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep the layer light
+    from ..netem.clock import Clock
+    from ..netem.policy import LinkPolicy
 
 #: Hard cap on frame size; a Byzantine peer must not be able to make a
 #: correct node allocate unbounded memory from a single length prefix.
@@ -62,6 +66,11 @@ class TcpTransport(InboxTransport):
         keyring: trusted-setup pairwise keys shared by the cluster.
         host/port: listen address; port 0 picks a free port, exposed as
             :attr:`address` after :meth:`start` for the peer map.
+        policy/clock: optional netem link conditions
+            (:mod:`repro.netem`), applied on the outbound path — a frame
+            the policy drops is never written, a delayed frame is
+            written by a task sleeping on the clock (so later frames may
+            genuinely overtake it on the wire).
     """
 
     def __init__(
@@ -71,19 +80,27 @@ class TcpTransport(InboxTransport):
         keyring: KeyRing,
         host: str = "127.0.0.1",
         port: int = 0,
+        policy: Optional["LinkPolicy"] = None,
+        clock: Optional["Clock"] = None,
     ):
         super().__init__()
+        if policy is not None and clock is None:
+            raise ReproError("a transport with a link policy needs a clock")
         self.pid = pid
         self.n = n
         self._auth = keyring.authenticator(pid)
         self._host = host
         self._port = port
+        self.policy = policy
+        self.clock = clock
         self._server: Optional[asyncio.base_events.Server] = None
         self._peers: Dict[ProcessId, Tuple[str, int]] = {}
         self._writers: Dict[ProcessId, asyncio.StreamWriter] = {}
+        self._send_locks: Dict[ProcessId, asyncio.Lock] = {}
         self._retry_after: Dict[ProcessId, float] = {}
         self._peer_tasks: set = set()
         self._peer_writers: set = set()
+        self._netem_tasks: Set[asyncio.Task] = set()
         self.accepted = 0
         self.rejected = 0
         self.dropped = 0
@@ -150,6 +167,11 @@ class TcpTransport(InboxTransport):
         if self._closed:
             return
         self._closed = True
+        for task in list(self._netem_tasks):
+            task.cancel()
+        if self._netem_tasks:
+            await asyncio.gather(*self._netem_tasks, return_exceptions=True)
+        self._netem_tasks.clear()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -177,26 +199,62 @@ class TcpTransport(InboxTransport):
         if dest == self.pid:
             # Self-delivery still crosses the codec so a node counts its
             # own messages under the same wire constraints as everyone
-            # else's.
+            # else's.  It never touches the netem policy: a process's
+            # channel to itself is not network.
             self._push(self.pid, codec.loads(codec.dumps(payload)))
             return
-        encoded = codec.encode(payload)
+        if self.policy is not None:
+            verdict = self.policy.plan(self.pid, dest, self.clock.now())
+            if verdict.dropped:
+                return
+            encoded = codec.encode(payload)
+            body = self._frame_body(dest, encoded)
+            for delay in verdict.delays:
+                if delay <= 0:
+                    await self._transmit(dest, body)
+                else:
+                    task = asyncio.ensure_future(
+                        self._transmit_later(dest, body, delay)
+                    )
+                    self._netem_tasks.add(task)
+                    task.add_done_callback(self._netem_tasks.discard)
+            return
+        await self._transmit(dest, self._frame_body(dest, codec.encode(payload)))
+
+    def _frame_body(self, dest: ProcessId, encoded: Any) -> bytes:
         mac = self._auth.tag(dest, codec.canonical(encoded))
-        body = json.dumps(
+        return json.dumps(
             {"src": self.pid, "dst": dest, "body": encoded, "mac": mac.hex()},
             sort_keys=True,
             separators=(",", ":"),
         ).encode("utf-8")
-        writer = await self._open(dest)
-        if writer is None:
-            self.dropped += 1
-            return
-        try:
-            writer.write(_LEN.pack(len(body)) + body)
-            await writer.drain()
-        except (ConnectionError, OSError):
-            self.dropped += 1
-            self._writers.pop(dest, None)
+
+    async def _transmit(self, dest: ProcessId, body: bytes) -> None:
+        # One writer task at a time per destination.  Netem delay tasks,
+        # the retransmission scan, and ack sends all transmit
+        # concurrently with the node loop; letting two tasks await
+        # drain() on one StreamWriter trips asyncio's flow-control
+        # assertion, and two racing _open() calls would leak the
+        # replaced connection.
+        lock = self._send_locks.get(dest)
+        if lock is None:
+            lock = self._send_locks[dest] = asyncio.Lock()
+        async with lock:
+            writer = await self._open(dest)
+            if writer is None:
+                self.dropped += 1
+                return
+            try:
+                writer.write(_LEN.pack(len(body)) + body)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                self.dropped += 1
+                self._writers.pop(dest, None)
+
+    async def _transmit_later(self, dest: ProcessId, body: bytes, delay: float) -> None:
+        await self.clock.sleep(delay)
+        if not self._closed:
+            await self._transmit(dest, body)
 
     # -- inbound path --------------------------------------------------------
 

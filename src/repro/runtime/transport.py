@@ -18,11 +18,15 @@ from __future__ import annotations
 
 import abc
 import asyncio
-from typing import Any, Dict, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Set, Tuple
 
 from ..errors import ReproError
 from ..types import ProcessId
 from . import codec
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep the layer light
+    from ..netem.clock import Clock
+    from ..netem.policy import LinkPolicy
 
 
 class TransportClosed(ReproError):
@@ -115,16 +119,34 @@ class LocalTransport(InboxTransport):
 class LocalHub:
     """Shared fabric for ``n`` in-process endpoints.
 
+    With a :class:`~repro.netem.policy.LinkPolicy` (and its clock)
+    installed, every dispatch consults the policy: dropped frames
+    vanish, delayed/duplicated copies are delivered by tasks sleeping on
+    the clock — under the deterministic
+    :class:`~repro.netem.clock.TickClock`, in a fully reproducible
+    order.
+
     >>> hub = LocalHub(4)
     >>> transports = [hub.endpoint(pid) for pid in range(4)]
     """
 
-    def __init__(self, n: int, codec_check: bool = False):
+    def __init__(
+        self,
+        n: int,
+        codec_check: bool = False,
+        policy: Optional["LinkPolicy"] = None,
+        clock: Optional["Clock"] = None,
+    ):
         if n < 1:
             raise ReproError(f"hub needs at least one node, got n={n}")
+        if policy is not None and clock is None:
+            raise ReproError("a hub with a link policy needs a clock")
         self.n = n
         self.codec_check = codec_check
+        self.policy = policy
+        self.clock = clock
         self._endpoints: Dict[ProcessId, LocalTransport] = {}
+        self._delayed: Set[asyncio.Task] = set()
 
     def endpoint(self, pid: ProcessId) -> LocalTransport:
         if not 0 <= pid < self.n:
@@ -140,12 +162,43 @@ class LocalHub:
             raise ReproError(f"send to unknown node {dest}")
         if self.codec_check:
             payload = codec.loads(codec.dumps(payload))
-        self.endpoint(dest)._push(source, payload)
+        if self.policy is not None:
+            verdict = self.policy.plan(source, dest, self.clock.now())
+            if verdict.dropped:
+                await asyncio.sleep(0)
+                return
+            for delay in verdict.delays:
+                if delay <= 0:
+                    self.endpoint(dest)._push(source, payload)
+                else:
+                    task = asyncio.ensure_future(
+                        self._deliver_later(source, dest, payload, delay)
+                    )
+                    self._delayed.add(task)
+                    task.add_done_callback(self._delayed.discard)
+        else:
+            self.endpoint(dest)._push(source, payload)
         # Yield to the event loop so sends interleave with other nodes'
         # progress instead of letting one node run a long synchronous
         # burst — closer to real concurrency, and it keeps any single
         # inbox from starving.
         await asyncio.sleep(0)
+
+    async def _deliver_later(
+        self, source: ProcessId, dest: ProcessId, payload: Any, delay: float
+    ) -> None:
+        await self.clock.sleep(delay)
+        endpoint = self._endpoints.get(dest)
+        if endpoint is not None and not endpoint._closed:
+            endpoint._push(source, payload)
+
+    async def close(self) -> None:
+        """Cancel in-flight delayed deliveries (cluster teardown)."""
+        for task in list(self._delayed):
+            task.cancel()
+        if self._delayed:
+            await asyncio.gather(*self._delayed, return_exceptions=True)
+        self._delayed.clear()
 
 
 __all__ = [

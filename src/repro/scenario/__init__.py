@@ -34,6 +34,7 @@ from .spec import (
     load_scenario,
     make_scheduler,
     parse_faults,
+    parse_link,
     parse_proposals,
 )
 from .catalog import CATALOG, catalog_names, get_scenario
@@ -56,6 +57,7 @@ __all__ = [
     "load_scenario",
     "make_scheduler",
     "parse_faults",
+    "parse_link",
     "parse_proposals",
     "repeat",
     "run",

@@ -133,6 +133,36 @@ _entry(Scenario(
     protocol="bracha", n=4, instances=4, proposals=1, fabric="local", seed=29,
 ))
 
+# -- adverse-network entries (netem on the runtime fabrics) ------------------
+
+_entry(Scenario(
+    name="lossy-tcp-retransmit",
+    description="Real sockets, hostile link: 15% of frames dropped on "
+                "every TCP link; the seq/ack retransmission layer still "
+                "delivers between correct peers and consensus completes.",
+    protocol="bracha", n=4, proposals=1, fabric="tcp", seed=37,
+    link={"loss": 0.15, "delay": 0.001, "jitter": 0.002},
+))
+
+_entry(Scenario(
+    name="adverse-local-mix",
+    description="The full netem gallery on the deterministic local "
+                "fabric: loss, delay+jitter, duplication, and reordering "
+                "at once — bit-identical for a fixed seed.",
+    protocol="benor", n=4, fabric="local", seed=41,
+    link={"loss": 0.1, "delay": 0.003, "jitter": 0.002,
+          "duplicate": 0.05, "reorder": 0.1},
+))
+
+_entry(Scenario(
+    name="partition-heal",
+    description="Scripted split-brain on a real transport: {0,1}|{2,3} "
+                "severed for the first 0.25s of modeled time, then healed; "
+                "retransmission re-delivers what the partition ate.",
+    protocol="bracha", n=4, proposals=1, fabric="local", seed=43,
+    partitions=[{"start": 0.0, "stop": 0.25, "groups": [[0, 1], [2, 3]]}],
+))
+
 
 def catalog_names() -> List[str]:
     """Catalog entry names, in registration order."""

@@ -37,7 +37,10 @@ from ..types import RunResult
 from .runner import run
 from .spec import Scenario
 
-#: Metrics extractable from a RunResult, by name.
+#: Metrics extractable from a RunResult, by name.  The ``netem_*`` and
+#: ``retransmitted`` metrics read the adverse-network counters recorded
+#: by runtime-fabric runs (zero when netem is off), so link conditions
+#: aggregate in sweep tables right alongside message counts.
 METRICS = {
     "rounds": lambda r: float(r.decision_round()),
     "total_rounds": lambda r: float(r.rounds),
@@ -45,6 +48,15 @@ METRICS = {
     "steps": lambda r: float(r.steps),
     "virtual_time": lambda r: float(r.virtual_time),
     "coin_flips": lambda r: float(r.meta.get("coin_flips", 0)),
+    "netem_frames": lambda r: float(r.meta.get("netem", {}).get("frames", 0)),
+    "netem_dropped": lambda r: float(r.meta.get("netem", {}).get("dropped", 0)),
+    "netem_delayed": lambda r: float(r.meta.get("netem", {}).get("delayed", 0)),
+    "netem_duplicated": lambda r: float(
+        r.meta.get("netem", {}).get("duplicated", 0)
+    ),
+    "retransmitted": lambda r: float(
+        r.meta.get("netem", {}).get("retransmitted", 0)
+    ),
 }
 
 

@@ -218,6 +218,7 @@ def _run_runtime(scenario: Scenario, check: bool) -> RunResult:
         stop=scenario.stop,
         check=check,
         allow_excess_faults=scenario.allow_excess_faults,
+        netem=scenario.netem_config(),
     )
 
 

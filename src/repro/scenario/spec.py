@@ -31,6 +31,7 @@ from ..adversary import (
 from ..analysis.experiments import normalize_proposals
 from ..baselines.harness import DEFAULT_COIN
 from ..errors import ConfigError
+from ..netem import NetemConfig
 from ..params import ProtocolParams, for_system
 from ..sim.scheduler import (
     FifoScheduler,
@@ -122,6 +123,31 @@ def parse_proposals(text: Optional[str], n: int) -> Any:
     return [int(c) for c in bits]
 
 
+def parse_link(entries: Optional[Sequence[str]]) -> Dict[str, Any]:
+    """Parse ``KEY=VALUE`` link-condition entries (e.g. ``["loss=0.1",
+    "delay=0.005", "retransmit=true"]``) into a ``link`` spec mapping."""
+    link: Dict[str, Any] = {}
+    for entry in entries or ():
+        key, sep, text = entry.partition("=")
+        if not sep or not key:
+            raise ConfigError(f"bad link spec {entry!r}; use KEY=VALUE")
+        value: Any
+        if text.lower() in ("true", "false"):
+            value = text.lower() == "true"
+        else:
+            try:
+                value = int(text)
+            except ValueError:
+                try:
+                    value = float(text)
+                except ValueError:
+                    raise ConfigError(
+                        f"bad link value in {entry!r}; expected a number or bool"
+                    ) from None
+        link[key] = value
+    return link
+
+
 # ---------------------------------------------------------------------------
 # Canonicalization helpers
 # ---------------------------------------------------------------------------
@@ -185,6 +211,19 @@ def _canonical_args(args: Any) -> Tuple[Tuple[str, Any], ...]:
     return tuple(sorted((str(k), _freeze(v)) for k, v in items))
 
 
+def _canonical_partitions(partitions: Any) -> Tuple[Tuple[Tuple[str, Any], ...], ...]:
+    """Partition specs stay in declaration order (it is a timeline); each
+    window canonicalizes to sorted ``(key, value)`` pairs."""
+    if partitions is None:
+        return ()
+    if isinstance(partitions, Mapping):
+        raise ConfigError(
+            "partitions must be a list of {'start', 'stop', 'groups'} "
+            f"mappings, got a single mapping: {partitions!r}"
+        )
+    return tuple(_canonical_args(spec) for spec in partitions)
+
+
 def _canonical_proposals(proposals: Any, n: int) -> Any:
     if proposals is None:
         return None
@@ -222,6 +261,13 @@ class Scenario:
         faults: pid → behavior spec (kind string or ``{"kind": ..., **kw}``).
         scheduler, scheduler_args: network conditions; ``sim`` fabric only
             (real transports schedule themselves).
+        link: netem link conditions for the runtime fabrics — a flat
+            mapping of :class:`~repro.netem.LinkModel` fields (``delay``,
+            ``jitter``, ``loss``, ``duplicate``, ``reorder``,
+            ``reorder_extra``) plus the retransmission knobs
+            (``retransmit``, ``rto``, ``max_retries``); see docs/netem.md.
+        partitions: scripted partition windows for the runtime fabrics —
+            a list of ``{"start", "stop", "groups"}`` mappings.
         fabric: ``sim`` (discrete-event), ``local`` (asyncio queues), or
             ``tcp`` (authenticated JSON-over-TCP).
         instances: parallel consensus instances per process (batching).
@@ -240,6 +286,8 @@ class Scenario:
     faults: Any = ()
     scheduler: str = "random"
     scheduler_args: Any = ()
+    link: Any = ()
+    partitions: Any = ()
     fabric: str = "sim"
     instances: int = 1
     seed: int = 0
@@ -279,6 +327,10 @@ class Scenario:
         object.__setattr__(
             self, "scheduler_args", _canonical_args(self.scheduler_args)
         )
+        object.__setattr__(self, "link", _canonical_args(self.link))
+        object.__setattr__(
+            self, "partitions", _canonical_partitions(self.partitions)
+        )
         if self.protocol == "acs":
             if self.proposals is not None:
                 raise ConfigError(
@@ -310,8 +362,17 @@ class Scenario:
         if self.fabric != "sim" and self.scheduler != "random":
             raise ConfigError(
                 f"scheduler {self.scheduler!r} needs the 'sim' fabric; "
-                "real transports schedule themselves"
+                "on the runtime fabrics declare adverse network conditions "
+                "with the 'link' / 'partitions' netem spec instead "
+                "(e.g. link={'loss': 0.1, 'delay': 0.005}; see docs/netem.md)"
             )
+        if self.fabric == "sim" and (self.link or self.partitions):
+            raise ConfigError(
+                "'link' / 'partitions' model real-transport conditions and "
+                "need the 'local' or 'tcp' fabric; on the 'sim' fabric use "
+                "a scheduler (e.g. scheduler='delay' or scheduler='partition')"
+            )
+        self.netem_config()  # validates link fields and partition windows
         if self.fabric != "sim" and self.stop == "quiescent":
             raise ConfigError("stop condition 'quiescent' needs the 'sim' fabric")
 
@@ -340,9 +401,25 @@ class Scenario:
     def scheduler_args_dict(self) -> Dict[str, Any]:
         return {k: _thaw(v) for k, v in self.scheduler_args}
 
+    def link_dict(self) -> Dict[str, Any]:
+        """The ``link`` spec in its JSON-facing mapping shape."""
+        return {k: _thaw(v) for k, v in self.link}
+
+    def partitions_list(self) -> list:
+        """The ``partitions`` spec in its JSON-facing list-of-dicts shape."""
+        return [{k: _thaw(v) for k, v in spec} for spec in self.partitions]
+
     def build_scheduler(self) -> Optional[Scheduler]:
         """Instantiate the declared network conditions (``sim`` fabric)."""
         return make_scheduler(self.scheduler, self.n, **self.scheduler_args_dict())
+
+    def netem_config(self) -> Optional[NetemConfig]:
+        """The declared link conditions as a validated
+        :class:`~repro.netem.NetemConfig`; ``None`` when netem is off."""
+        config = NetemConfig.from_spec(self.link_dict(), self.partitions_list())
+        if config is not None:
+            config.validate_pids(self.n)
+        return config
 
     def replace(self, **changes: Any) -> "Scenario":
         """A copy with fields changed — revalidated and recanonicalized."""
@@ -364,6 +441,10 @@ class Scenario:
                 value = {str(pid): spec for pid, spec in self.faults_dict().items()}
             elif field.name == "scheduler_args":
                 value = self.scheduler_args_dict()
+            elif field.name == "link":
+                value = self.link_dict()
+            elif field.name == "partitions":
+                value = self.partitions_list()
             else:
                 value = _thaw(value)
             out[field.name] = value
@@ -422,5 +503,6 @@ __all__ = [
     "load_scenario",
     "make_scheduler",
     "parse_faults",
+    "parse_link",
     "parse_proposals",
 ]

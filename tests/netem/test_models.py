@@ -1,0 +1,130 @@
+"""Validation and parsing of the netem config values."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netem import LinkModel, NetemConfig, Partition, partition_to_spec
+
+
+class TestLinkModel:
+    def test_defaults_are_idle(self):
+        assert LinkModel().idle
+
+    def test_any_condition_clears_idle(self):
+        assert not LinkModel(loss=0.1).idle
+        assert not LinkModel(delay=0.001).idle
+
+    @pytest.mark.parametrize("field", ["loss", "duplicate", "reorder"])
+    @pytest.mark.parametrize("value", [-0.1, 1.0, 1.5])
+    def test_probabilities_must_be_in_unit_interval(self, field, value):
+        with pytest.raises(ConfigError):
+            LinkModel(**{field: value})
+
+    @pytest.mark.parametrize("field", ["delay", "jitter", "reorder_extra"])
+    def test_durations_must_be_non_negative(self, field):
+        with pytest.raises(ConfigError):
+            LinkModel(**{field: -0.001})
+
+    def test_reorder_derives_a_holdback(self):
+        model = LinkModel(delay=0.01, reorder=0.2)
+        assert model.reorder_extra == pytest.approx(0.04)
+        # With no base delay the derived hold-back is still nonzero,
+        # otherwise "reorder" could never actually reorder anything.
+        assert LinkModel(reorder=0.2).reorder_extra > 0
+
+    def test_explicit_holdback_is_kept(self):
+        assert LinkModel(reorder=0.2, reorder_extra=0.5).reorder_extra == 0.5
+
+
+class TestPartition:
+    def test_window_arithmetic(self):
+        p = Partition(start=1.0, stop=2.0, groups=((0, 1), (2, 3)))
+        assert not p.active(0.5)
+        assert p.active(1.0)
+        assert p.active(1.999)
+        assert not p.active(2.0)
+
+    def test_permanent_partition_never_heals(self):
+        p = Partition(start=0.0, stop=None, groups=((0,), (1,)))
+        assert p.active(1e9)
+
+    def test_severs_across_groups_only(self):
+        p = Partition(start=0.0, stop=None, groups=((0, 1), (2, 3)))
+        assert p.severs(0, 2)
+        assert p.severs(3, 1)
+        assert not p.severs(0, 1)
+        assert not p.severs(2, 3)
+
+    def test_unlisted_pids_form_the_rest_group(self):
+        p = Partition(start=0.0, stop=None, groups=((0, 1),))
+        assert p.severs(0, 2)      # named <-> unlisted: severed
+        assert not p.severs(2, 3)  # unlisted peers stay connected
+
+    def test_stop_must_follow_start(self):
+        with pytest.raises(ConfigError):
+            Partition(start=2.0, stop=1.0, groups=((0,), (1,)))
+
+    def test_pid_in_two_groups_rejected(self):
+        with pytest.raises(ConfigError):
+            Partition(start=0.0, stop=None, groups=((0, 1), (1, 2)))
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(ConfigError):
+            Partition(start=0.0, stop=None, groups=())
+        with pytest.raises(ConfigError):
+            Partition(start=0.0, stop=None, groups=((0,), ()))
+
+
+class TestNetemConfig:
+    def test_empty_spec_means_netem_off(self):
+        assert NetemConfig.from_spec(None, None) is None
+        assert NetemConfig.from_spec({}, []) is None
+
+    def test_link_fields_parse(self):
+        config = NetemConfig.from_spec(
+            {"loss": 0.1, "delay": 0.005, "rto": 0.02,
+             "max_retries": 7, "retransmit": True},
+        )
+        assert config.model.loss == 0.1
+        assert config.model.delay == 0.005
+        assert config.rto == 0.02
+        assert config.max_retries == 7
+        assert config.retransmit
+
+    def test_unknown_link_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown link field"):
+            NetemConfig.from_spec({"lossy": 0.1})
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(ConfigError):
+            NetemConfig.from_spec({"loss": "lots"})
+        with pytest.raises(ConfigError):
+            NetemConfig.from_spec({"loss": True})
+
+    def test_bad_layer_knobs_rejected(self):
+        with pytest.raises(ConfigError):
+            NetemConfig.from_spec({"rto": 0.0, "loss": 0.1})
+        with pytest.raises(ConfigError):
+            NetemConfig.from_spec({"max_retries": 0, "loss": 0.1})
+        with pytest.raises(ConfigError):
+            NetemConfig.from_spec({"retransmit": "yes"})
+
+    def test_partitions_parse_and_roundtrip(self):
+        spec = {"start": 0.0, "stop": 0.5, "groups": [[0, 1], [2, 3]]}
+        config = NetemConfig.from_spec(None, [spec])
+        assert config.partitions[0].groups == ((0, 1), (2, 3))
+        assert partition_to_spec(config.partitions[0]) == spec
+
+    def test_partition_spec_validation(self):
+        with pytest.raises(ConfigError, match="unknown partition field"):
+            NetemConfig.from_spec(None, [{"groups": [[0]], "until": 3}])
+        with pytest.raises(ConfigError, match="needs 'groups'"):
+            NetemConfig.from_spec(None, [{"start": 0.0}])
+        with pytest.raises(ConfigError):
+            NetemConfig.from_spec(None, [{"groups": [[0], [0]]}])
+
+    def test_validate_pids_bounds(self):
+        config = NetemConfig.from_spec(None, [{"groups": [[0, 5], [1]]}])
+        with pytest.raises(ConfigError, match="out of range"):
+            config.validate_pids(4)
+        config.validate_pids(6)  # in range: no error

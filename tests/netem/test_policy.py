@@ -1,0 +1,128 @@
+"""LinkPolicy: seeded determinism, statistical behavior, counters."""
+
+import pytest
+
+from repro.netem import LinkPolicy, NetemConfig
+
+
+def make_policy(link=None, partitions=None, seed=0, n=4):
+    return LinkPolicy(n, NetemConfig.from_spec(link, partitions), seed=seed)
+
+
+class TestDeterminism:
+    def test_same_seed_same_verdicts(self):
+        link = {"loss": 0.3, "delay": 0.004, "jitter": 0.003,
+                "duplicate": 0.1, "reorder": 0.2}
+        a = make_policy(link, seed=42)
+        b = make_policy(link, seed=42)
+        verdicts_a = [a.plan(0, 1, now=0.0) for _ in range(200)]
+        verdicts_b = [b.plan(0, 1, now=0.0) for _ in range(200)]
+        assert verdicts_a == verdicts_b
+        assert a.totals().as_dict() == b.totals().as_dict()
+
+    def test_different_seeds_differ(self):
+        link = {"loss": 0.3}
+        a = make_policy(link, seed=1)
+        b = make_policy(link, seed=2)
+        assert [a.plan(0, 1, 0.0).dropped for _ in range(100)] != [
+            b.plan(0, 1, 0.0).dropped for _ in range(100)
+        ]
+
+    def test_links_draw_from_independent_streams(self):
+        # Interleaving traffic on another link must not perturb this one.
+        link = {"loss": 0.3}
+        alone = make_policy(link, seed=7)
+        busy = make_policy(link, seed=7)
+        lone_verdicts = [alone.plan(0, 1, 0.0) for _ in range(50)]
+        busy_verdicts = []
+        for _ in range(50):
+            busy.plan(2, 3, 0.0)  # unrelated traffic
+            busy_verdicts.append(busy.plan(0, 1, 0.0))
+        assert lone_verdicts == busy_verdicts
+
+
+class TestConditions:
+    def test_idle_policy_passes_everything(self):
+        policy = make_policy({"retransmit": False})
+        verdict = policy.plan(0, 1, 0.0)
+        assert not verdict.dropped
+        assert verdict.delays == (0.0,)
+
+    def test_self_link_is_exempt(self):
+        policy = make_policy({"loss": 0.99})
+        for _ in range(100):
+            assert not policy.plan(2, 2, 0.0).dropped
+        assert policy.totals().frames == 0
+
+    def test_loss_rate_tracks_probability(self):
+        policy = make_policy({"loss": 0.25}, seed=3)
+        dropped = sum(policy.plan(0, 1, 0.0).dropped for _ in range(2000))
+        assert 0.18 < dropped / 2000 < 0.32
+
+    def test_delay_and_jitter_bounds(self):
+        policy = make_policy({"delay": 0.01, "jitter": 0.005}, seed=5)
+        for _ in range(200):
+            (delay,) = policy.plan(0, 1, 0.0).delays
+            assert 0.01 <= delay <= 0.015
+
+    def test_duplicates_carry_two_delays(self):
+        policy = make_policy({"duplicate": 0.5, "delay": 0.001}, seed=9)
+        copies = [len(policy.plan(0, 1, 0.0).delays) for _ in range(200)]
+        assert set(copies) == {1, 2}
+        assert policy.totals().duplicated == copies.count(2)
+
+    def test_reorder_adds_holdback(self):
+        policy = make_policy(
+            {"reorder": 0.5, "reorder_extra": 0.1}, seed=11
+        )
+        delays = [policy.plan(0, 1, 0.0).delays[0] for _ in range(200)]
+        held = [d for d in delays if d >= 0.1]
+        assert held and len(held) < len(delays)
+        assert policy.totals().reordered == len(held)
+
+
+class TestPartitions:
+    def test_window_drops_crossing_frames_only(self):
+        policy = make_policy(
+            partitions=[{"start": 1.0, "stop": 2.0, "groups": [[0, 1], [2, 3]]}]
+        )
+        assert not policy.plan(0, 2, now=0.5).dropped   # before the window
+        verdict = policy.plan(0, 2, now=1.5)            # inside, crossing
+        assert verdict.dropped and verdict.reason == "partition"
+        assert not policy.plan(0, 1, now=1.5).dropped   # inside, same side
+        assert not policy.plan(0, 2, now=2.5).dropped   # healed
+        assert policy.totals().dropped_partition == 1
+
+    def test_partition_trumps_loss_draws(self):
+        # Partitioned frames must not consume loss-stream draws, or the
+        # partition timing would leak into post-heal loss decisions.
+        link = {"loss": 0.3}
+        window = [{"start": 0.0, "stop": 1.0, "groups": [[0], [1]]}]
+        plain = make_policy(link, seed=13)
+        parted = make_policy(link, window, seed=13)
+        for _ in range(20):  # all dropped by the partition, no draws
+            assert parted.plan(0, 1, now=0.5).reason == "partition"
+        after = [parted.plan(0, 1, now=2.0) for _ in range(50)]
+        baseline = [plain.plan(0, 1, now=2.0) for _ in range(50)]
+        assert after == baseline
+
+    def test_out_of_range_partition_pid_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="out of range"):
+            make_policy(partitions=[{"groups": [[0, 9]]}], n=4)
+
+
+class TestCounters:
+    def test_per_link_counters_are_directional(self):
+        policy = make_policy({"loss": 0.5}, seed=17)
+        for _ in range(20):
+            policy.plan(0, 1, 0.0)
+        for _ in range(10):
+            policy.plan(1, 0, 0.0)
+        per_link = policy.per_link()
+        assert per_link["0->1"]["frames"] == 20
+        assert per_link["1->0"]["frames"] == 10
+        totals = policy.totals()
+        assert totals.frames == 30
+        assert totals.dropped == totals.dropped_loss > 0

@@ -198,6 +198,108 @@ def test_deeply_nested_frame_is_rejected_not_fatal():
     asyncio.run(scenario())
 
 
+def test_concurrent_sends_to_one_peer_are_serialized():
+    # Netem delay tasks and the retransmission scan transmit
+    # concurrently with the node loop; the per-destination send lock
+    # must keep racing drain()/reconnect attempts from corrupting the
+    # stream or tripping asyncio's flow-control assertion.
+    async def scenario():
+        a, b = await _connected_pair()
+        try:
+            payloads = [("bulk", "x" * 2000, i) for i in range(80)]
+            await asyncio.gather(
+                *(a.send(1, payload) for payload in payloads)
+            )
+            got = set()
+            while len(got) < len(payloads):
+                _sender, payload = await asyncio.wait_for(b.recv(), 10.0)
+                got.add(payload[2])
+            assert got == set(range(len(payloads)))
+            assert b.rejected == 0
+            assert len(a._writers) <= 1  # no duplicate connections leaked
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(scenario())
+
+
+def test_fuzzed_garbage_frames_never_kill_the_serve_task():
+    # Satellite of the netem PR: a Byzantine peer can shove arbitrary
+    # bytes down a connection.  Spray seeded malformed/truncated/bad-MAC
+    # frames through the codec path and assert every one is counted and
+    # dropped while the endpoint keeps serving authentic traffic.
+    import random
+
+    rng = random.Random(0xBEEF)
+
+    def fuzz_frames(a):
+        encoded = encode(("mod", StepValue(1)))
+        good_mac = a._auth.tag(1, canonical(encoded)).hex()
+        corpus = []
+        # 1. random binary garbage of assorted sizes
+        for _ in range(10):
+            corpus.append(rng.randbytes(rng.randrange(1, 200)))
+        # 2. truncated valid JSON bodies
+        body = json.dumps(
+            {"src": 0, "dst": 1, "body": encoded, "mac": good_mac}
+        ).encode()
+        for _ in range(10):
+            corpus.append(body[: rng.randrange(1, len(body) - 1)])
+        # 3. structurally valid JSON with wrong shapes and types
+        corpus.extend(
+            json.dumps(doc).encode()
+            for doc in (
+                [],
+                42,
+                {"src": "zero", "dst": 1, "body": encoded, "mac": good_mac},
+                {"src": 99, "dst": 1, "body": encoded, "mac": good_mac},
+                {"src": 0, "dst": 99, "body": encoded, "mac": good_mac},
+                {"src": 0, "dst": 1, "body": encoded, "mac": "zz-not-hex"},
+                {"src": 0, "dst": 1, "body": encoded},
+                {"src": 0, "dst": 1, "body": {"__msg__": "NoSuchType",
+                                              "fields": {}}, "mac": good_mac},
+            )
+        )
+        # 4. bad MACs: flip one hex digit of a genuine tag
+        for _ in range(10):
+            i = rng.randrange(len(good_mac))
+            flipped = (
+                good_mac[:i]
+                + ("0" if good_mac[i] != "0" else "1")
+                + good_mac[i + 1:]
+            )
+            corpus.append(
+                json.dumps(
+                    {"src": 0, "dst": 1, "body": encoded, "mac": flipped}
+                ).encode()
+            )
+        rng.shuffle(corpus)
+        return corpus
+
+    async def scenario():
+        a, b = await _connected_pair()
+        try:
+            corpus = fuzz_frames(a)
+            reader, writer = await asyncio.open_connection(*b.address)
+            for raw in corpus:
+                writer.write(struct.pack(">I", len(raw)) + raw)
+            await writer.drain()
+            await _wait_for(lambda: b.rejected >= len(corpus))
+            assert b.accepted == 0
+            # The endpoint survived every frame: authentic traffic flows.
+            await a.send(1, ("mod", StepValue(1)))
+            sender, payload = await asyncio.wait_for(b.recv(), 5.0)
+            assert (sender, payload) == (0, ("mod", StepValue(1)))
+            assert b.rejected == len(corpus)
+            writer.close()
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(scenario())
+
+
 def test_oversized_frame_drops_the_connection():
     from repro.runtime.tcp import MAX_FRAME
 

@@ -50,6 +50,45 @@ class TestValidation:
         with pytest.raises(ConfigError):
             Scenario(scheduler="fifo", fabric="tcp")
 
+    def test_scheduler_on_runtime_fabric_points_at_link_spec(self):
+        # Not a dead end anymore: the error names the netem alternative.
+        with pytest.raises(ConfigError, match="'link' / 'partitions'"):
+            Scenario(scheduler="delay", fabric="tcp")
+
+    def test_link_needs_runtime_fabric(self):
+        with pytest.raises(ConfigError, match="scheduler"):
+            Scenario(link={"loss": 0.1}, fabric="sim")
+        with pytest.raises(ConfigError):
+            Scenario(partitions=[{"groups": [[0, 1], [2, 3]]}], fabric="sim")
+
+    def test_link_fields_validated(self):
+        with pytest.raises(ConfigError, match="unknown link field"):
+            Scenario(link={"packet_loss": 0.1}, fabric="local")
+        with pytest.raises(ConfigError):
+            Scenario(link={"loss": 1.5}, fabric="local")
+        with pytest.raises(ConfigError):
+            Scenario(link={"delay": -1}, fabric="local")
+
+    def test_partition_pids_checked_against_n(self):
+        with pytest.raises(ConfigError, match="out of range"):
+            Scenario(n=4, fabric="local",
+                     partitions=[{"groups": [[0, 7]]}])
+
+    def test_partition_windows_validated(self):
+        with pytest.raises(ConfigError):
+            Scenario(fabric="local",
+                     partitions=[{"start": 2.0, "stop": 1.0,
+                                  "groups": [[0], [1]]}])
+
+    def test_valid_link_spec_accepted(self):
+        s = Scenario(fabric="tcp",
+                     link={"loss": 0.2, "delay": 0.005, "retransmit": True},
+                     partitions=[{"start": 0.0, "stop": 1.0,
+                                  "groups": [[0, 1], [2, 3]]}])
+        config = s.netem_config()
+        assert config.model.loss == 0.2
+        assert config.partitions[0].stop == 1.0
+
     def test_orphan_scheduler_args_rejected(self):
         """scheduler_args without a named scheduler would be silently
         ignored — fail loudly instead."""
@@ -120,6 +159,27 @@ class TestRoundTrip:
     def test_to_dict_omits_defaults(self):
         assert Scenario().to_dict() == {}
         assert set(Scenario(n=7, seed=3).to_dict()) == {"n", "seed"}
+
+    def test_link_and_partitions_round_trip(self):
+        s = Scenario(
+            name="netem-rt", fabric="tcp", seed=3,
+            link={"loss": 0.2, "delay": 0.005, "jitter": 0.001,
+                  "retransmit": True, "max_retries": 9},
+            partitions=[
+                {"start": 0.0, "stop": 0.5, "groups": [[0, 1], [2, 3]]},
+                {"start": 1.0, "stop": None, "groups": [[0], [3]]},
+            ],
+        )
+        assert Scenario.from_dict(s.to_dict()) == s
+        data = json.loads(s.to_json())  # the JSON shape is plain dicts/lists
+        assert data["link"]["loss"] == 0.2
+        assert data["partitions"][0]["groups"] == [[0, 1], [2, 3]]
+        assert data["partitions"][1]["stop"] is None
+
+    def test_equivalent_link_specs_compare_equal(self):
+        a = Scenario(fabric="local", link={"loss": 0.1, "delay": 0.001})
+        b = Scenario(fabric="local", link={"delay": 0.001, "loss": 0.1})
+        assert a == b and hash(a) == hash(b)
 
     def test_from_dict_rejects_unknown_fields(self):
         with pytest.raises(ConfigError) as exc:

@@ -6,7 +6,7 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.errors import ConfigError
-from repro.scenario import parse_faults, parse_proposals
+from repro.scenario import parse_faults, parse_link, parse_proposals
 
 
 class TestParsing:
@@ -36,6 +36,20 @@ class TestParsing:
 
     def test_proposal_default(self):
         assert parse_proposals(None, 4) is None
+
+    def test_link_specs(self):
+        assert parse_link(["loss=0.1", "max_retries=9", "retransmit=true"]) == {
+            "loss": 0.1, "max_retries": 9, "retransmit": True,
+        }
+
+    def test_link_specs_empty(self):
+        assert parse_link(None) == {}
+
+    def test_bad_link_spec(self):
+        with pytest.raises(ConfigError):
+            parse_link(["loss"])  # no '='
+        with pytest.raises(ConfigError):
+            parse_link(["loss=lots"])  # not a number
 
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
@@ -84,6 +98,22 @@ class TestCommands:
         assert main(["sweep", "-n", "4", "--trials", "3"]) == 0
         out = capsys.readouterr().out
         assert "decision round" in out
+
+    def test_run_net_with_link_conditions(self, capsys):
+        code = main([
+            "run-net", "--n", "4", "--seed", "1", "--proposals", "1",
+            "--link", "loss=0.1", "--link", "delay=0.001",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "netem" in out and "retransmitted" in out
+        assert "decision  : [1]" in out
+
+    def test_run_net_scheduler_error_names_link_spec(self, capsys):
+        code = main(["run", "--name", "split-brain-scheduler",
+                     "--fabric", "local"])
+        assert code == 1
+        assert "'link' / 'partitions'" in capsys.readouterr().err
 
     def test_config_error_is_reported_not_raised(self, capsys):
         code = main([
