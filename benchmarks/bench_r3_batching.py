@@ -1,0 +1,82 @@
+"""R3 — Batched message pipeline: frames, messages-per-frame, wall time.
+
+The engine/driver refactor lets the runtime coalesce every message a
+node queues for a destination during one pump iteration into a single
+wire frame (one codec pass, one MAC, one length-prefixed TCP write —
+see ``docs/architecture.md``).  This benchmark quantifies the effect on
+the multi-instance Bracha pipeline, the workload the batching shape was
+built for: messages per frame, total frames, and wall-clock per
+decision, batched vs unbatched, on both runtime fabrics.
+
+Run with ``--smoke`` for the CI-sized subset; the ≥3× frame-compression
+bound on the batched TCP run is asserted in both modes.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.analysis.tables import format_table
+from repro.scenario import Scenario, run
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return (time.perf_counter() - start) * 1000.0, result
+
+
+def test_r3_batched_vs_unbatched(benchmark, table_sink, smoke):
+    instances = 4 if smoke else 8
+    trials = 1 if smoke else 3
+    fabrics = ["local", "tcp"]
+    modes = ["off", "flush"]
+
+    def experiment():
+        rows = []
+        compression = {}
+        for fabric in fabrics:
+            for mode in modes:
+                total_ms = 0.0
+                frames = 0
+                messages = 0
+                mpf = 0.0
+                for trial in range(trials):
+                    scenario = Scenario(
+                        protocol="bracha", n=4, proposals=1,
+                        instances=instances, fabric=fabric,
+                        batching=mode, seed=300 + trial, timeout=120.0,
+                    )
+                    ms, result = _timed(lambda: run(scenario))
+                    assert result.decided_values == {1}
+                    total_ms += ms
+                    frames += result.meta["frames_sent"]
+                    messages += result.meta["wire_messages_sent"]
+                    mpf += result.meta["messages_per_frame"]
+                rows.append([
+                    fabric, mode, round(total_ms / trials, 2),
+                    messages // trials, frames // trials,
+                    round(mpf / trials, 2),
+                ])
+                compression[(fabric, mode)] = messages / frames
+        return rows, compression
+
+    rows, compression = run_once(benchmark, experiment)
+    table_sink(
+        "r3_batching",
+        format_table(
+            ["fabric", "batching", "ms/run", "messages", "frames", "msgs/frame"],
+            rows,
+            title=f"R3. Batched vs unbatched message pipeline "
+                  f"(Bracha, n=4, instances={instances}, "
+                  f"{'smoke' if smoke else 'full'} mode)",
+        ),
+    )
+    # Unbatched runs are the identity baseline: one frame per message.
+    assert compression[("local", "off")] == 1.0
+    assert compression[("tcp", "off")] == 1.0
+    # The acceptance bound: on the multi-instance Bracha run, batching
+    # must carry at least 3x more messages than frames on TCP (each
+    # frame saves a codec pass, a MAC, and a length-prefixed write).
+    assert compression[("tcp", "flush")] >= 3.0
+    assert compression[("local", "flush")] >= 3.0

@@ -6,6 +6,12 @@ to the corrupted pid (it cannot forge other identities — authenticated
 links).  Behaviors range from benign-looking (silence, crash) to actively
 malicious (two-faced execution, protocol fuzzing).
 
+Behaviors live on the *driver* side of the engine/driver split: they
+call ``network.send`` directly (no effect outbox — an adversary is not
+required to be well-structured), while any honest stacks they wrap run
+as ordinary :class:`~repro.sim.process.Process` engines whose outboxes
+drain at their own activation boundaries.
+
 The two-faced behavior deserves a note: it runs *two complete honest
 protocol stacks* for the same pid, one proposing 0 and one proposing 1,
 and partitions the correct processes into two groups — group A talks to

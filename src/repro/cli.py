@@ -90,6 +90,10 @@ def _print_result(scenario: Scenario, result: Any) -> None:
         print(f"rounds    : {result.rounds} (decided in {result.decision_round()})")
     print(f"messages  : {result.messages_sent} sent, "
           f"{result.messages_delivered} delivered")
+    if result.meta.get("frames_sent"):
+        print(f"frames    : {result.meta['frames_sent']} wire frames, "
+              f"{result.meta['messages_per_frame']:.2f} messages/frame "
+              f"(batching: {result.meta.get('batching', 'off')})")
     if "frames_rejected" in result.meta:
         print(f"rejected  : {result.meta['frames_rejected']} unauthenticated frames")
     netem = result.meta.get("netem")
@@ -197,6 +201,7 @@ def cmd_run_net(args: argparse.Namespace) -> int:
         fabric=args.transport,
         seed=args.seed,
         instances=args.instances,
+        batching=args.batching,
         host=args.host,
         base_port=args.base_port,
         timeout=args.timeout,
@@ -351,6 +356,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="e.g. 3:silent 2:two_faced")
     run_net.add_argument("--instances", type=int, default=1,
                          help="parallel consensus instances per node")
+    run_net.add_argument("--batching", default="off", metavar="MODE",
+                         help="wire-frame coalescing: off, flush, or size:N "
+                              "(one MAC'd frame carries every message queued "
+                              "per destination)")
     run_net.add_argument("--link", action="append", metavar="KEY=VALUE",
                          help="netem link conditions (repeatable), e.g. "
                               "--link loss=0.1 --link delay=0.005; keys: "

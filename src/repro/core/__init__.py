@@ -19,21 +19,28 @@ Three layers, bottom-up:
 from .broadcast import BroadcastLayer, RbcDelivery, RbcMessage
 from .coin import CoinScheme, CoinSource, DealerCoin, LocalCoin, ShareCoinProvider
 from .consensus import BrachaConsensus, DecideMsg, DecisionEvent, HaltEvent
+from .effects import Broadcast, Decide, Note, Outbox, Send, parse_batching
 from .validation import StepValidator, justify_step
 
 __all__ = [
     "BrachaConsensus",
+    "Broadcast",
     "BroadcastLayer",
     "CoinScheme",
     "CoinSource",
     "DealerCoin",
+    "Decide",
     "DecideMsg",
     "DecisionEvent",
     "HaltEvent",
     "LocalCoin",
+    "Note",
+    "Outbox",
     "RbcDelivery",
     "RbcMessage",
+    "Send",
     "ShareCoinProvider",
     "StepValidator",
     "justify_step",
+    "parse_batching",
 ]

@@ -1,0 +1,36 @@
+"""Protocol effects — re-exported from :mod:`repro.sim.effects`.
+
+The effect vocabulary (:class:`Send`, :class:`Broadcast`, :class:`Note`,
+:class:`Decide`), the per-step :class:`Outbox`, and the batching-spec
+parser conceptually belong to the core layer: they are the words in
+which the protocol engines talk to whatever driver hosts them.  The
+*implementation* lives in :mod:`repro.sim.effects` because
+:mod:`repro.sim.process` (which every core module imports) consumes it,
+and Python package initialization would otherwise cycle through
+``repro.core.__init__``.  Import from either path; they are the same
+objects.
+"""
+
+from ..sim.effects import (
+    BATCHING_MODES,
+    Broadcast,
+    Decide,
+    Effect,
+    FLUSH_BATCH_LIMIT,
+    Note,
+    Outbox,
+    Send,
+    parse_batching,
+)
+
+__all__ = [
+    "BATCHING_MODES",
+    "Broadcast",
+    "Decide",
+    "Effect",
+    "FLUSH_BATCH_LIMIT",
+    "Note",
+    "Outbox",
+    "Send",
+    "parse_batching",
+]

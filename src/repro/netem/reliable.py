@@ -26,6 +26,12 @@ upward the moment they arrive.  Payloads that are not link frames pass
 through untouched — traffic from peers outside the reliability layer
 remains visible, exactly as a real stack demotes unknown framing to
 best-effort.
+
+The payload a frame carries is opaque: with the batched message
+pipeline on, it is a whole :class:`~repro.runtime.codec.WireBatch`, and
+sequencing, acking, retransmission, and dedup all operate on the batch
+as one wire frame — the per-frame semantics of this layer are
+independent of how many protocol messages ride inside.
 """
 
 from __future__ import annotations

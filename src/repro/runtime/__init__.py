@@ -25,7 +25,7 @@ See ``docs/runtime.md`` for the design and its current limits.
 """
 
 from .cluster import Cluster, run_cluster, run_cluster_sync
-from .codec import CodecError, decode, encode, register_message
+from .codec import CodecError, WireBatch, decode, encode, register_message
 from .node import Node, NodeNetwork
 from .tcp import TcpTransport
 from .transport import LocalHub, Transport, TransportClosed
@@ -39,6 +39,7 @@ __all__ = [
     "TcpTransport",
     "Transport",
     "TransportClosed",
+    "WireBatch",
     "decode",
     "encode",
     "register_message",

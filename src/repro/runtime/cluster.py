@@ -49,6 +49,7 @@ from ..netem import (
 )
 from ..netem.clock import Clock
 from ..params import for_system
+from ..sim.effects import parse_batching
 from ..sim.process import Process
 from ..stacks import PROTOCOLS, ProtocolPlan, build_plan_behavior
 from ..types import Decision, ProcessId, RunResult
@@ -90,12 +91,15 @@ class Cluster:
         link: Optional[Mapping[str, Any]] = None,
         partitions: Optional[Any] = None,
         netem: Optional[NetemConfig] = None,
+        batching: str = "off",
     ):
         self.params = for_system(n, t)
         self.protocol = protocol
         self.transport_kind = transport
         self.seed = seed
         self.instances = instances
+        self.batching = batching
+        parse_batching(batching)  # validate early; nodes parse again
         self.host = host
         self.base_port = base_port
         self.codec_check = codec_check
@@ -159,7 +163,7 @@ class Cluster:
                 target = process
             node = Node(
                 pid, network, self.transports[pid], target,
-                on_activation=self._on_activation,
+                on_activation=self._on_activation, batching=self.batching,
             )
             self.nodes[pid] = node
 
@@ -347,14 +351,17 @@ class Cluster:
         elapsed = time.monotonic() - self._zero
         result = RunResult(virtual_time=elapsed)
         sent_by_kind: Dict[str, int] = {}
+        frames_sent = 0
+        wire_messages = 0
         for pid, node in self.nodes.items():
             metrics = node.network.metrics
             result.messages_sent += metrics.sent
             for kind, count in metrics.sent_by_kind.items():
                 sent_by_kind[kind] = sent_by_kind.get(kind, 0) + count
             result.steps += node.activations
-            delivered = getattr(node.transport, "delivered", 0)
-            result.messages_delivered += delivered
+            result.messages_delivered += node.messages_delivered
+            frames_sent += node.frames_sent
+            wire_messages += node.wire_messages_sent
 
         instance_decisions: Dict[ProcessId, List[Any]] = {}
         for pid, modules in self.stacks.items():
@@ -383,6 +390,12 @@ class Cluster:
         result.meta["transport"] = self.transport_kind
         result.meta["protocol"] = self.protocol
         result.meta["instances"] = self.instances
+        result.meta["batching"] = self.batching
+        result.meta["frames_sent"] = frames_sent
+        result.meta["wire_messages_sent"] = wire_messages
+        result.meta["messages_per_frame"] = (
+            wire_messages / frames_sent if frames_sent else 0.0
+        )
         fill_common_meta(result, self.proposals, self.behaviors, sent_by_kind)
         result.meta["decision_latency"] = dict(self._decision_times)
         if self.instances > 1:

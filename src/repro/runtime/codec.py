@@ -36,6 +36,7 @@ from ..errors import ReproError
 
 __all__ = [
     "CodecError",
+    "WireBatch",
     "register_message",
     "encode",
     "decode",
@@ -85,6 +86,42 @@ def register_enum(cls: Type[enum.Enum]) -> Type[enum.Enum]:
         raise CodecError(f"enum name {cls.__name__!r} already registered")
     _ENUMS[cls.__name__] = cls
     return cls
+
+
+# -- the multi-message envelope frame ----------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class WireBatch:
+    """One wire frame carrying several protocol messages to one peer.
+
+    The batched message pipeline (``batching`` scenario field) coalesces
+    everything a node queued for a destination during one pump iteration
+    into a single ``WireBatch`` payload: one codec pass, one MAC, one
+    length-prefixed TCP write — and one netem/:class:`~repro.netem.reliable.ReliableLink`
+    wire-frame, so link conditions and retransmission keep their
+    per-frame semantics unchanged.  The receiving node unpacks the batch
+    and delivers the inner messages in order.
+
+    Validation runs on inbound frames too (decoding re-invokes this
+    constructor): empty and nested batches are rejected, so a Byzantine
+    peer cannot smuggle recursion or zero-length frames past the codec.
+    """
+
+    messages: tuple
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.messages, tuple):
+            raise CodecError(
+                f"batch messages must be a tuple, got {type(self.messages).__name__}"
+            )
+        if not self.messages:
+            raise CodecError("a wire batch must carry at least one message")
+        if any(isinstance(m, WireBatch) for m in self.messages):
+            raise CodecError("wire batches must not nest")
+
+    def __len__(self) -> int:
+        return len(self.messages)
 
 
 # -- encoding ---------------------------------------------------------------
@@ -238,6 +275,7 @@ def _register_builtin_types() -> None:
         LinkAck,
     ):
         register_message(cls)
+    register_message(WireBatch)
     register_enum(Phase)
     register_enum(Step)
 

@@ -2,18 +2,29 @@
 
 The protocol classes are deterministic state machines driven through two
 sim-facing entry points — ``start()`` and ``deliver(sender, payload)`` —
-and they emit messages *synchronously* by calling ``network.send`` while
+and they emit *effects* (sends, notes) into their process outbox while
 handling a delivery.  Nothing in them may block or await.
 
 :class:`NodeNetwork` satisfies the network surface those classes use
 (``send``, ``register``, ``rng``, ``now``, ``trace_note`` — see
 :class:`repro.sim.network.NetworkAPI`), but instead of scheduling into a
-simulator it buffers outbound messages in an outbox.  :class:`Node`
+simulator it buffers outbound messages in a wire outbox.  :class:`Node`
 owns the event-loop side: one task awaits the transport inbox, feeds
 each inbound message to the process, then flushes the outbox to the
 transport.  Protocol code therefore runs *unmodified* in both worlds;
 asynchrony now comes from task/socket interleaving instead of a seeded
 scheduler.
+
+**Batching.**  The flush is where the batched message pipeline lives:
+with ``batching="flush"`` (or ``"size:N"``) everything queued for one
+destination during a pump iteration is coalesced into a single
+:class:`~repro.runtime.codec.WireBatch` payload — one codec pass, one
+MAC, one length-prefixed TCP write per destination instead of one per
+message.  Inbound batches are unpacked here too, and the whole batch is
+delivered before the next flush, so replies to a burst coalesce in
+turn.  ``frames_sent`` / ``wire_messages_sent`` / ``messages_delivered``
+count the effect; per-link order is preserved, and the protocols are
+built for arbitrary cross-link reordering, so semantics are unchanged.
 
 Every node derives its randomness from the same master seed, exactly as
 the simulator's shared :class:`~repro.sim.rng.SplitRng` does — so a
@@ -27,15 +38,17 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import deque
-from typing import Any, Callable, Deque, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..errors import ReproError
 from ..params import ProtocolParams
+from ..sim.effects import parse_batching
 from ..sim.metrics import Metrics
 from ..sim.process import Process
 from ..sim.rng import SplitRng
 from ..sim.trace import NullTrace
 from ..types import ProcessId
+from .codec import WireBatch
 from .transport import Transport, TransportClosed
 
 
@@ -101,6 +114,11 @@ class Node:
     ``on_activation`` is the cluster's hook, invoked after every
     activation (start, proposal, delivery) so it can check decision
     predicates without polling.
+
+    ``batching`` is a spec accepted by
+    :func:`~repro.sim.effects.parse_batching` (``off`` | ``flush`` |
+    ``size:N``) selecting how the per-iteration outbox maps to wire
+    frames.
     """
 
     def __init__(
@@ -110,6 +128,7 @@ class Node:
         transport: Transport,
         target: Any,
         on_activation: Optional[Callable[["Node"], None]] = None,
+        batching: Any = "off",
     ):
         if transport.pid != pid:
             raise ReproError(f"node {pid} given transport of node {transport.pid}")
@@ -118,9 +137,13 @@ class Node:
         self.transport = transport
         self.target = target
         self.on_activation = on_activation
+        self.batch_mode, self.batch_limit = parse_batching(batching)
         self.started = asyncio.Event()
         self.stopped = asyncio.Event()
         self.activations = 0
+        self.frames_sent = 0
+        self.wire_messages_sent = 0
+        self.messages_delivered = 0
         self.crashed: Optional[BaseException] = None
         self._proposals: Deque[Callable[[], None]] = deque()
 
@@ -144,7 +167,7 @@ class Node:
                     self._proposals.popleft()()
                     await self._after_activation()
                 sender, payload = await self.transport.recv()
-                self.target.deliver(sender, payload)
+                self._deliver(sender, payload)
                 await self._after_activation()
         except TransportClosed:
             pass
@@ -160,6 +183,21 @@ class Node:
             if self.on_activation is not None:
                 self.on_activation(self)
 
+    def _deliver(self, sender: ProcessId, payload: Any) -> None:
+        """Hand one inbound wire payload to the target, unpacking batches.
+
+        A whole batch is delivered before the next outbox flush, so the
+        responses it provokes coalesce into batched frames themselves —
+        the pipelining half of the throughput win.
+        """
+        if isinstance(payload, WireBatch):
+            for message in payload.messages:
+                self.messages_delivered += 1
+                self.target.deliver(sender, message)
+        else:
+            self.messages_delivered += 1
+            self.target.deliver(sender, payload)
+
     async def _after_activation(self) -> None:
         self.activations += 1
         # The callback runs *before* the outbox drain: draining awaits,
@@ -168,8 +206,31 @@ class Node:
         # first or decision timestamps would be lost.
         if self.on_activation is not None:
             self.on_activation(self)
-        for dest, payload in self.network.drain():
-            await self.transport.send(dest, payload)
+        queued = self.network.drain()
+        if not queued:
+            return
+        if self.batch_mode == "off":
+            for dest, payload in queued:
+                self.frames_sent += 1
+                self.wire_messages_sent += 1
+                await self.transport.send(dest, payload)
+            return
+        # Group by destination, preserving per-link message order and
+        # first-appearance destination order; each group becomes one
+        # frame (chunked at batch_limit so frames stay well under the
+        # transports' hard frame cap).
+        groups: Dict[ProcessId, List[Any]] = {}
+        for dest, payload in queued:
+            groups.setdefault(dest, []).append(payload)
+        for dest, payloads in groups.items():
+            for i in range(0, len(payloads), self.batch_limit):
+                chunk = payloads[i:i + self.batch_limit]
+                self.frames_sent += 1
+                self.wire_messages_sent += len(chunk)
+                if len(chunk) == 1:
+                    await self.transport.send(dest, chunk[0])
+                else:
+                    await self.transport.send(dest, WireBatch(tuple(chunk)))
 
 
 __all__ = ["Node", "NodeNetwork"]

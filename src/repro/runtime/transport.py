@@ -12,6 +12,11 @@ interleaving of tasks or sockets rather than from a seeded scheduler.
 queues — the fastest runtime, used for parity testing against the
 simulator and as the baseline in the transport benchmarks.  The TCP
 implementation lives in :mod:`repro.runtime.tcp`.
+
+Transports move *wire frames* and never look inside: a payload may be a
+single protocol message or a whole :class:`~repro.runtime.codec.WireBatch`
+coalesced by the node's batching pipeline — either way it is one
+dispatch, one codec round-trip, one netem verdict.
 """
 
 from __future__ import annotations

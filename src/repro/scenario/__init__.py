@@ -26,6 +26,7 @@ Quickstart::
 """
 
 from .spec import (
+    BATCHING_MODES,
     COINS,
     FABRICS,
     SCHEDULERS,
@@ -42,6 +43,7 @@ from .grid import Cell, METRICS, ScenarioGrid, SweepResult
 from .runner import repeat, run
 
 __all__ = [
+    "BATCHING_MODES",
     "CATALOG",
     "COINS",
     "Cell",

@@ -133,6 +133,15 @@ _entry(Scenario(
     protocol="bracha", n=4, instances=4, proposals=1, fabric="local", seed=29,
 ))
 
+_entry(Scenario(
+    name="batched-pipeline",
+    description="The multi-instance pipeline with the batched message "
+                "path: every message queued per destination rides one "
+                "wire frame (one codec pass, one MAC on tcp).",
+    protocol="bracha", n=4, instances=4, proposals=1, fabric="local",
+    batching="flush", seed=29,
+))
+
 # -- adverse-network entries (netem on the runtime fabrics) ------------------
 
 _entry(Scenario(
@@ -152,6 +161,16 @@ _entry(Scenario(
     protocol="benor", n=4, fabric="local", seed=41,
     link={"loss": 0.1, "delay": 0.003, "jitter": 0.002,
           "duplicate": 0.05, "reorder": 0.1},
+))
+
+_entry(Scenario(
+    name="batched-tcp-lossy",
+    description="Batching and adversity combined: four Bracha instances "
+                "over real sockets with 10% frame loss — batched frames "
+                "are the retransmission unit, so the seq/ack layer "
+                "resends whole batches until consensus completes.",
+    protocol="bracha", n=4, instances=4, proposals=1, fabric="tcp", seed=47,
+    batching="flush", link={"loss": 0.1, "delay": 0.001},
 ))
 
 _entry(Scenario(

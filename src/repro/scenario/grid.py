@@ -48,6 +48,8 @@ METRICS = {
     "steps": lambda r: float(r.steps),
     "virtual_time": lambda r: float(r.virtual_time),
     "coin_flips": lambda r: float(r.meta.get("coin_flips", 0)),
+    "frames_sent": lambda r: float(r.meta.get("frames_sent", 0)),
+    "messages_per_frame": lambda r: float(r.meta.get("messages_per_frame", 0.0)),
     "netem_frames": lambda r: float(r.meta.get("netem", {}).get("frames", 0)),
     "netem_dropped": lambda r: float(r.meta.get("netem", {}).get("dropped", 0)),
     "netem_delayed": lambda r: float(r.meta.get("netem", {}).get("delayed", 0)),

@@ -93,6 +93,12 @@ def _run_sim(scenario: Scenario, check: bool) -> RunResult:
     sim = Simulation(seed=scenario.seed, scheduler=scenario.build_scheduler())
     stacks: Dict[ProcessId, List[Any]] = {}
     behaviors: Dict[ProcessId, Any] = {}
+    # ``batching="off"`` flushes each effect eagerly (the historical
+    # inline-send path); any other mode drains the outbox per delivery
+    # step.  Both produce the same event order for a fixed seed — the
+    # batching-equivalence tests compare decisions and traces bit for
+    # bit — so the knob is observable only on the runtime fabrics.
+    eager = scenario.batching == "off"
     for pid in range(scenario.n):
         if pid in faults:
             behavior = build_plan_behavior(
@@ -101,7 +107,7 @@ def _run_sim(scenario: Scenario, check: bool) -> RunResult:
             sim.network.register(behavior)
             behaviors[pid] = behavior
         else:
-            process = Process(pid, sim.network, params)
+            process = Process(pid, sim.network, params, eager=eager)
             stacks[pid] = plan.build(process)
 
     sim.start()
@@ -152,6 +158,7 @@ def _run_sim(scenario: Scenario, check: bool) -> RunResult:
     result.meta["coin_flips"] = coin_flips
     result.meta["protocol"] = scenario.protocol
     result.meta["instances"] = scenario.instances
+    result.meta["batching"] = scenario.batching
     fill_common_meta(result, proposals, behaviors, sim.metrics.sent_by_kind)
 
     if scenario.protocol == "acs":
@@ -219,6 +226,7 @@ def _run_runtime(scenario: Scenario, check: bool) -> RunResult:
         check=check,
         allow_excess_faults=scenario.allow_excess_faults,
         netem=scenario.netem_config(),
+        batching=scenario.batching,
     )
 
 

@@ -33,6 +33,7 @@ from ..baselines.harness import DEFAULT_COIN
 from ..errors import ConfigError
 from ..netem import NetemConfig
 from ..params import ProtocolParams, for_system
+from ..sim.effects import BATCHING_MODES, parse_batching
 from ..sim.scheduler import (
     FifoScheduler,
     RandomDelayScheduler,
@@ -271,6 +272,12 @@ class Scenario:
         fabric: ``sim`` (discrete-event), ``local`` (asyncio queues), or
             ``tcp`` (authenticated JSON-over-TCP).
         instances: parallel consensus instances per process (batching).
+        batching: wire-frame coalescing — ``off`` (one frame per
+            message), ``flush`` (one frame per destination per pump
+            flush), or ``size:N`` (at most ``N`` messages per frame).
+            On the ``sim`` fabric the knob selects eager vs per-step
+            outbox draining, which is provably order-identical: a fixed
+            seed decides and traces bit-for-bit the same either way.
         stop: ``decided`` | ``halted`` | ``quiescent`` (sim only).
         max_steps / timeout: liveness budget (sim steps / runtime seconds).
         host, base_port: TCP fabric placement (0 = pick free ports).
@@ -290,6 +297,7 @@ class Scenario:
     partitions: Any = ()
     fabric: str = "sim"
     instances: int = 1
+    batching: str = "off"
     seed: int = 0
     stop: str = "decided"
     max_steps: int = 2_000_000
@@ -317,6 +325,7 @@ class Scenario:
             )
         if self.instances < 1:
             raise ConfigError(f"need at least one instance, got {self.instances}")
+        parse_batching(self.batching)  # validates off | flush | size:N
         if self.instances > 1 and self.protocol not in ("bracha", "benor"):
             raise ConfigError(
                 f"multiple instances are not supported for {self.protocol!r}"
@@ -495,6 +504,7 @@ def load_scenario(path: Any) -> Scenario:
 
 
 __all__ = [
+    "BATCHING_MODES",
     "COINS",
     "FABRICS",
     "SCHEDULERS",

@@ -11,6 +11,7 @@ Everything is seeded and deterministic: the same ``seed`` produces the
 same execution, byte for byte, which the test suite relies on.
 """
 
+from .effects import Broadcast, Decide, Note, Outbox, Send, parse_batching
 from .events import PendingSet
 from .network import Network
 from .process import Context, Process, ProtocolModule
@@ -25,7 +26,12 @@ from .scheduler import (
 )
 
 __all__ = [
+    "Broadcast",
     "Context",
+    "Decide",
+    "Note",
+    "Outbox",
+    "Send",
     "FifoScheduler",
     "Network",
     "PendingSet",
@@ -37,4 +43,5 @@ __all__ = [
     "Scheduler",
     "Simulation",
     "SplitRng",
+    "parse_batching",
 ]

@@ -1,0 +1,171 @@
+"""Protocol effects and the per-step Outbox — the engine/driver seam.
+
+The protocol modules are pure message-driven state machines; everything
+they ask of the outside world during one activation is described by a
+small set of *effect* values:
+
+* :class:`Send` — one authenticated point-to-point message;
+* :class:`Broadcast` — the same payload to every process (expanded into
+  ``n`` sends, self included, when the outbox drains);
+* :class:`Note` — a trace annotation (measurement only);
+* :class:`Decide` — a terminal output surfaced to the hosting driver.
+
+A :class:`~repro.sim.process.Process` collects the effects of one
+activation in an :class:`Outbox` and applies them against its network
+when the activation ends (or immediately, in *eager* mode, which is
+byte-for-byte the historical inline-send behavior).  Drivers — the
+discrete-event simulator and the asyncio runtime's
+:class:`~repro.runtime.node.Node` — therefore see a process's traffic
+as explicit per-step batches they are free to coalesce, which is what
+the wire-level batching pipeline (``batching`` scenario field) builds
+on.
+
+Effect order is preserved exactly: draining replays sends, notes, and
+decides in the order the module issued them, at the same virtual time,
+so a fixed-seed simulation is bit-identical whether effects flush
+eagerly or per step (``tests/scenario/test_batching_equivalence.py``
+proves this for every protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple, Union
+
+from ..errors import ConfigError
+from ..types import ProcessId
+
+#: Messages-per-frame cap for ``batching="flush"``: a frame must stay
+#: far below the transports' 1 MiB hard frame cap even when a long
+#: activation queues hundreds of messages for one destination.
+FLUSH_BATCH_LIMIT = 64
+
+#: The validated batching modes of the Scenario field / cluster knob.
+BATCHING_MODES = ("off", "flush", "size:N")
+
+
+@dataclass(frozen=True)
+class Send:
+    """Send ``payload`` to ``dest`` over the authenticated link."""
+
+    dest: ProcessId
+    payload: Any
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """Send ``payload`` to every process, including the sender.
+
+    Expanded at drain time into ``n`` point-to-point sends in pid order
+    — identical to the historical loop, so uids, metrics, and traces do
+    not move.
+    """
+
+    payload: Any
+
+
+@dataclass(frozen=True)
+class Note:
+    """A trace annotation (measurement only, never protocol input)."""
+
+    detail: Any
+
+
+@dataclass(frozen=True)
+class Decide:
+    """A terminal protocol output, surfaced to the hosting driver."""
+
+    value: Any
+
+
+Effect = Union[Send, Broadcast, Note, Decide]
+
+
+class Outbox:
+    """Ordered effect buffer for one process.
+
+    Appending is O(1); :meth:`drain` hands the whole batch to the driver
+    and resets the buffer.  ``appended`` counts effects over the
+    process's lifetime (cheap observability for tests and benchmarks).
+    """
+
+    __slots__ = ("_effects", "appended")
+
+    def __init__(self) -> None:
+        self._effects: List[Effect] = []
+        self.appended = 0
+
+    def append(self, effect: Effect) -> None:
+        self._effects.append(effect)
+        self.appended += 1
+
+    def drain(self) -> List[Effect]:
+        """Return all buffered effects in issue order and clear the buffer."""
+        if not self._effects:
+            return []
+        out = self._effects
+        self._effects = []
+        return out
+
+    def __len__(self) -> int:
+        return len(self._effects)
+
+    def __bool__(self) -> bool:
+        return bool(self._effects)
+
+    def __repr__(self) -> str:
+        return f"<Outbox {len(self._effects)} buffered, {self.appended} total>"
+
+
+def parse_batching(spec: Any) -> Tuple[str, int]:
+    """Validate a batching spec; return ``(mode, limit)``.
+
+    ``"off"`` (or ``None``) disables wire coalescing — one frame per
+    message, the historical behavior.  ``"flush"`` coalesces everything
+    queued for a destination at each pump flush (capped at
+    :data:`FLUSH_BATCH_LIMIT` messages per frame).  ``"size:N"`` caps
+    frames at ``N`` messages, ``2 <= N <= FLUSH_BATCH_LIMIT``.  Anything
+    else raises :class:`~repro.errors.ConfigError`.
+    """
+    if spec is None or spec == "off":
+        return ("off", 1)
+    if spec == "flush":
+        return ("flush", FLUSH_BATCH_LIMIT)
+    if isinstance(spec, str) and spec.startswith("size:"):
+        text = spec[len("size:"):]
+        try:
+            size = int(text)
+        except ValueError:
+            raise ConfigError(
+                f"bad batching spec {spec!r}: {text!r} is not an integer"
+            ) from None
+        if size < 2:
+            raise ConfigError(
+                f"batching 'size:N' needs N >= 2 (N=1 is 'off'), got {size}"
+            )
+        if size > FLUSH_BATCH_LIMIT:
+            # An unbounded N could build frames past the transports' hard
+            # 1 MiB cap; the receiver drops the connection on such frames
+            # and the retransmission layer would resend the same
+            # oversized frame forever, severing the link.
+            raise ConfigError(
+                f"batching 'size:N' is capped at N <= {FLUSH_BATCH_LIMIT} "
+                f"(the flush limit), got {size}"
+            )
+        return ("size", size)
+    raise ConfigError(
+        f"unknown batching spec {spec!r}; choose from {list(BATCHING_MODES)}"
+    )
+
+
+__all__ = [
+    "BATCHING_MODES",
+    "Broadcast",
+    "Decide",
+    "Effect",
+    "FLUSH_BATCH_LIMIT",
+    "Note",
+    "Outbox",
+    "Send",
+    "parse_batching",
+]

@@ -10,17 +10,35 @@ Messages on the wire are routed tuples ``(module_id, inner_payload)``;
 the process dispatches an incoming envelope to the module whose id
 matches.  Modules never touch the network directly, which keeps them
 deterministic state machines that are trivial to unit-test.
+
+**Engine/driver split.**  Module callbacks do not send inline: every
+``ctx.send`` / ``ctx.broadcast`` / ``ctx.note`` appends an *effect*
+(:mod:`repro.sim.effects`) to the process's per-step :class:`Outbox
+<repro.sim.effects.Outbox>`, and the outbox drains against the network
+when the activation that produced it ends — the end of a
+:meth:`Process.deliver` or :meth:`Process.start`, or immediately for
+calls made outside any activation (direct module driving in unit
+tests).  Draining replays effects in issue order at an unchanged
+virtual time, so executions are bit-identical to the historical
+inline-send behavior; ``eager=True`` flushes each effect the moment it
+is enqueued, which *is* the historical behavior, kept as the
+``batching="off"`` reference mode the equivalence tests compare
+against.  Drivers that want a wider atomic window (e.g. a runtime node
+delivering a whole wire batch) wrap the activations in
+:meth:`Process.buffered`.
 """
 
 from __future__ import annotations
 
 import abc
 import random
-from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Optional, TYPE_CHECKING
 
 from ..errors import SimulationError
 from ..params import ProtocolParams
 from ..types import ProcessId
+from .effects import Broadcast, Decide, Effect, Note, Outbox, Send
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .network import NetworkAPI
@@ -33,6 +51,10 @@ class Context:
     sends to named processes, the process's own identity and parameters,
     a private randomness stream, and the virtual clock (for
     *measurement* only — protocols must never branch on it).
+
+    Sends are *effects*: they enter the process outbox and reach the
+    network when the current activation ends (see the module docstring),
+    preserving issue order exactly.
     """
 
     def __init__(self, process: "Process", module_id: str):
@@ -43,7 +65,7 @@ class Context:
 
     def send(self, dest: ProcessId, payload: Any) -> None:
         """Send ``payload`` to ``dest`` over the authenticated link."""
-        self._process.network.send(self.pid, dest, (self.module_id, payload))
+        self._process.enqueue(Send(dest, (self.module_id, payload)))
 
     def broadcast(self, payload: Any) -> None:
         """Send ``payload`` to every process, including ourselves.
@@ -53,8 +75,16 @@ class Context:
         quorums, and routing it through the scheduler keeps executions
         honest about asynchrony.
         """
-        for dest in range(self.params.n):
-            self.send(dest, payload)
+        self._process.enqueue(Broadcast((self.module_id, payload)))
+
+    def decide(self, value: Any) -> None:
+        """Surface a terminal output to the hosting driver (optional).
+
+        The classic modules expose decisions as attributes + upcall
+        events; this effect is the forward-looking channel for engines
+        that report outputs without the host polling their state.
+        """
+        self._process.enqueue(Decide(value))
 
     def rng(self, *names: object) -> random.Random:
         """This process's private randomness stream (e.g. its local coin)."""
@@ -66,7 +96,7 @@ class Context:
 
     def note(self, detail: Any) -> None:
         """Write an annotation into the simulation trace."""
-        self._process.network.trace_note(self.pid, detail)
+        self._process.enqueue(Note(detail))
 
 
 class ProtocolModule(abc.ABC):
@@ -105,7 +135,15 @@ class ProtocolModule(abc.ABC):
 
 
 class Process:
-    """A correct process: identity, parameters, and a stack of modules."""
+    """A correct process: identity, parameters, and a stack of modules.
+
+    ``eager=True`` flushes every effect the instant it is enqueued
+    (the historical inline-send behavior, selected by
+    ``batching="off"``); the default defers the flush to the end of the
+    enclosing activation, handing drivers one explicit batch per step.
+    Both orders are identical on the wire — the equivalence tests hold
+    the repository to that.
+    """
 
     def __init__(
         self,
@@ -113,6 +151,7 @@ class Process:
         network: "NetworkAPI",
         params: ProtocolParams,
         register: bool = True,
+        eager: bool = False,
     ):
         if not 0 <= pid < params.n:
             raise SimulationError(f"pid {pid} out of range for n={params.n}")
@@ -121,6 +160,10 @@ class Process:
         self.params = params
         self.modules: Dict[str, ProtocolModule] = {}
         self.halted = False
+        self.eager = eager
+        self.outbox = Outbox()
+        self.on_decide: Optional[Callable[[Any], None]] = None
+        self._depth = 0
         if register:
             network.register(self)
 
@@ -142,6 +185,59 @@ class Process:
     def rng_for(self, *names: object) -> random.Random:
         return self.network.rng.stream("process", self.pid, *names)
 
+    # -- the outbox (engine → driver) ------------------------------------
+
+    def enqueue(self, effect: Effect) -> None:
+        """Record one effect; flush immediately outside an activation.
+
+        Inside an activation the effect waits for the step boundary
+        (unless the process is ``eager``); a direct module call from a
+        test or driver has no activation window, so the effect applies
+        on the spot — the compatibility shim that keeps every historical
+        call site behaving identically.
+        """
+        self.outbox.append(effect)
+        if self.eager or self._depth == 0:
+            self.flush_outbox()
+
+    def flush_outbox(self) -> None:
+        """Apply all buffered effects against the network, in issue order."""
+        for effect in self.outbox.drain():
+            self._apply(effect)
+
+    def _apply(self, effect: Effect) -> None:
+        if type(effect) is Send:
+            self.network.send(self.pid, effect.dest, effect.payload)
+        elif type(effect) is Broadcast:
+            for dest in range(self.params.n):
+                self.network.send(self.pid, dest, effect.payload)
+        elif type(effect) is Note:
+            self.network.trace_note(self.pid, effect.detail)
+        elif type(effect) is Decide:
+            if self.on_decide is not None:
+                self.on_decide(effect.value)
+            else:
+                self.network.trace_note(self.pid, ("decide", effect.value))
+        else:
+            raise SimulationError(f"unknown effect {effect!r}")
+
+    @contextmanager
+    def buffered(self) -> Iterator["Process"]:
+        """Widen the atomic window across several activations.
+
+        Everything enqueued inside the ``with`` block drains in one
+        batch when the outermost block exits — even if the process
+        raises, effects issued before the fault still reach the network
+        (a crash does not recall packets already handed over).
+        """
+        self._depth += 1
+        try:
+            yield self
+        finally:
+            self._depth -= 1
+            if self._depth == 0:
+                self.flush_outbox()
+
     # -- simulation interface --------------------------------------------
 
     @property
@@ -149,8 +245,9 @@ class Process:
         return False
 
     def start(self) -> None:
-        for module in list(self.modules.values()):
-            module.start()
+        with self.buffered():
+            for module in list(self.modules.values()):
+                module.start()
 
     def halt(self) -> None:
         """Stop reacting to messages (graceful protocol termination)."""
@@ -171,7 +268,8 @@ class Process:
             # by a Byzantine process inventing protocol tags) is ignored,
             # exactly as an unknown message type would be in a real system.
             return
-        module.on_message(sender, inner)
+        with self.buffered():
+            module.on_message(sender, inner)
 
     def __repr__(self) -> str:
         tag = " halted" if self.halted else ""

@@ -6,6 +6,13 @@ time: ask the scheduler for the next envelope, deliver it, repeat — until
 a caller-supplied predicate holds, the system is quiescent (no messages
 in flight), or the step budget runs out.
 
+Each delivery step drains the target process's effect outbox as one
+batch: the callback buffers its sends (see :mod:`repro.sim.effects`)
+and :meth:`~repro.sim.process.Process.deliver` applies them against the
+network when the activation ends — in issue order, at the same virtual
+time, so event order per seed is identical to inline sending and the
+runner needs no batching awareness of its own.
+
 Fairness guarantee: if the scheduler declines to choose (returns
 ``None``) while messages are pending, the runner delivers the oldest
 pending envelope.  Adversarial schedulers can therefore *reorder*

@@ -11,7 +11,11 @@ are comparable stack-for-stack.
 
 The plan builds onto a :class:`~repro.sim.process.Process`, which is
 happy on either world's network (anything satisfying
-:class:`~repro.sim.network.NetworkAPI`).
+:class:`~repro.sim.network.NetworkAPI`).  The stacks a plan assembles
+are sans-I/O engines: their sends are effects drained from the process
+outbox by whichever driver hosts them (see :mod:`repro.sim.effects`),
+so fabric-level concerns — the scenario's ``batching`` field included —
+are applied entirely by the driver, never by protocol code.
 """
 
 from __future__ import annotations

@@ -1,0 +1,140 @@
+"""Batched-vs-unbatched equivalence, per protocol, per fabric.
+
+The engine/driver refactor's central promise: the ``batching`` knob is
+*observable only on the wire*.  On the simulator a fixed seed must
+produce identical decisions and identical traces whether effects flush
+eagerly (``off``) or drain per delivery step (``flush``/``size:N``);
+on the runtime fabrics every protocol must still decide with batching
+enabled.
+"""
+
+import pytest
+
+from repro.params import for_system
+from repro.scenario import Scenario, run
+from repro.sim.process import Process
+from repro.sim.runner import Simulation
+from repro.stacks import ProtocolPlan
+
+PROTOCOL_SYSTEMS = {
+    "bracha": dict(n=4),
+    "benor": dict(n=4),
+    "benor-crash": dict(n=5, t=2),
+    "mmr14": dict(n=4, coin="dealer"),
+    "acs": dict(n=4),
+}
+
+
+def _fingerprint(result):
+    return (
+        result.steps,
+        result.messages_sent,
+        result.messages_delivered,
+        result.rounds,
+        {pid: d.value for pid, d in result.decisions.items()},
+        result.meta["messages_by_kind"],
+    )
+
+
+class TestSimBitIdentical:
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOL_SYSTEMS))
+    @pytest.mark.parametrize("mode", ["flush", "size:4"])
+    def test_batched_run_equals_unbatched(self, protocol, mode):
+        spec = PROTOCOL_SYSTEMS[protocol]
+        base = Scenario(protocol=protocol, seed=13, **spec)
+        off = run(base, batching="off")
+        batched = run(base, batching=mode)
+        assert _fingerprint(off) == _fingerprint(batched)
+
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOL_SYSTEMS))
+    def test_batched_run_with_faults_equals_unbatched(self, protocol):
+        spec = dict(PROTOCOL_SYSTEMS[protocol])
+        faults = {3: "silent"} if protocol != "benor-crash" else {4: "silent"}
+        base = Scenario(protocol=protocol, seed=29, faults=faults, **spec)
+        assert _fingerprint(run(base, batching="off")) == _fingerprint(
+            run(base, batching="flush")
+        )
+
+
+class TestSimTraceIdentical:
+    @pytest.mark.parametrize("protocol", ["bracha", "benor"])
+    def test_full_trace_is_bit_identical(self, protocol):
+        """Eager vs per-step outbox draining: every send, delivery, and
+        note lands at the same step, same time, same order."""
+
+        def run_traced(eager):
+            sim = Simulation(seed=5, trace=True)
+            params = for_system(4, None)
+            plan = ProtocolPlan(protocol, params, "local", 5, 1)
+            stacks = {}
+            for pid in range(4):
+                process = Process(pid, sim.network, params, eager=eager)
+                stacks[pid] = plan.build(process)
+            sim.start()
+            for pid, modules in stacks.items():
+                plan.propose(modules, pid, pid % 2)
+            sim.run(until=lambda: all(
+                plan.decided(m) for m in stacks.values()
+            ))
+            decisions = {pid: m[0].decision for pid, m in stacks.items()}
+            return sim.trace.render(), decisions
+
+        trace_eager, decisions_eager = run_traced(eager=True)
+        trace_step, decisions_step = run_traced(eager=False)
+        assert decisions_eager == decisions_step
+        assert trace_eager == trace_step
+
+
+class TestRuntimeFabricsDecide:
+    """Acceptance: all five protocols decide with batching enabled on
+    every fabric (sim is covered bit-for-bit above)."""
+
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOL_SYSTEMS))
+    def test_local_batched(self, protocol):
+        spec = PROTOCOL_SYSTEMS[protocol]
+        result = run(Scenario(protocol=protocol, fabric="local",
+                              batching="flush", seed=17, **spec))
+        assert len(result.decisions) >= 1
+        assert result.meta["batching"] == "flush"
+
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOL_SYSTEMS))
+    def test_tcp_batched(self, protocol):
+        spec = PROTOCOL_SYSTEMS[protocol]
+        result = run(Scenario(protocol=protocol, fabric="tcp",
+                              batching="flush", seed=19, **spec))
+        assert len(result.decisions) >= 1
+        assert result.meta["frames_sent"] > 0
+
+
+class TestSpecValidation:
+    def test_round_trips_through_json(self):
+        scenario = Scenario(protocol="bracha", fabric="local",
+                            batching="size:8", instances=4, proposals=1)
+        assert Scenario.from_json(scenario.to_json()) == scenario
+        assert scenario.to_dict()["batching"] == "size:8"
+
+    def test_default_is_omitted_from_dict(self):
+        assert "batching" not in Scenario().to_dict()
+
+    def test_bad_specs_rejected(self):
+        from repro.errors import ConfigError
+
+        for bad in ("on", "size:1", "batch"):
+            with pytest.raises(ConfigError):
+                Scenario(batching=bad)
+
+    def test_grid_can_sweep_batching(self):
+        from repro.scenario import ScenarioGrid
+
+        grid = ScenarioGrid(
+            Scenario(protocol="bracha", fabric="local", proposals=1,
+                     instances=2),
+            trials=1, seed=3,
+        )
+        grid.add("batching", ["off", "flush"])
+        result = grid.run()
+        off = result.cell(batching="off")
+        flush = result.cell(batching="flush")
+        assert off.metric("messages_per_frame").mean == 1.0
+        assert flush.metric("messages_per_frame").mean > 1.0
+        assert flush.metric("frames_sent").mean < off.metric("frames_sent").mean
