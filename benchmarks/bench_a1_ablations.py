@@ -38,7 +38,7 @@ def liar_run(validate, seed):
     )
 
 
-def test_a1_validation_ablation(benchmark, table_sink):
+def test_a1_validation_ablation(benchmark, table_sink, bench_sink):
     def experiment():
         rows = []
         for validate in (True, False):
@@ -73,6 +73,14 @@ def test_a1_validation_ablation(benchmark, table_sink):
     assert with_validation[2] == 0 and with_validation[3] == 0
     assert without_validation[3] >= 1, (
         "without validation the liar must win on some seeds"
+    )
+    bench_sink(
+        "a1_ablations",
+        {
+            "with_validation_violations": with_validation[3],
+            "without_validation_violations": without_validation[3],
+        },
+        meta={"trials": TRIALS},
     )
 
 

@@ -27,7 +27,7 @@ def spark(hist, width=30):
     )
 
 
-def test_f1_round_distribution(benchmark, table_sink):
+def test_f1_round_distribution(benchmark, table_sink, bench_sink):
     sizes = [4, 7, 10]
 
     def experiment():
@@ -67,6 +67,14 @@ def test_f1_round_distribution(benchmark, table_sink):
     assert common[10] <= common[4] * 2 + 1
     # Local coin at n=10 must not beat common coin at n=10 materially.
     assert local[10] >= common[10] - 0.5
+    bench_sink(
+        "f1_round_distribution",
+        {
+            "common_mean_rounds_n10": round(common[10], 2),
+            "local_mean_rounds_n10": round(local[10], 2),
+        },
+        meta={"sizes": sizes, "trials": TRIALS},
+    )
 
 
 def test_f1_unanimous_one_round(benchmark, table_sink):

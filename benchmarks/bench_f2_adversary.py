@@ -37,7 +37,7 @@ def bracha_steps(scheduler_factory, coin_factory, seed):
     return result.steps
 
 
-def test_f2_bracha_latency_under_attack(benchmark, table_sink):
+def test_f2_bracha_latency_under_attack(benchmark, table_sink, bench_sink):
     schedulers = [
         ("fair-random", lambda coin: None),
         ("victim-starve", lambda coin: DelayVictimScheduler([0], holdback=150)),
@@ -71,6 +71,15 @@ def test_f2_bracha_latency_under_attack(benchmark, table_sink):
         ),
     )
     assert all(row[4] < 25 for row in rows), "bounded slowdown, no livelock"
+    bench_sink(
+        "f2_bracha_latency",
+        {
+            "fair_mean_steps": round(rows[0][2], 1),
+            "worst_slowdown": round(max(row[4] for row in rows), 2),
+        },
+        meta={"schedulers": [name for name, _f in schedulers],
+              "trials": TRIALS},
+    )
 
 
 def test_f2_mmr14_liveness_contrast(benchmark, table_sink):

@@ -20,7 +20,7 @@ from repro.baselines import run_protocol
 TRIALS = 6
 
 
-def test_f3_protocol_comparison(benchmark, table_sink):
+def test_f3_protocol_comparison(benchmark, table_sink, bench_sink):
     configs = [
         ("bracha", "local"), ("bracha", "dealer"),
         ("benor", "local"), ("benor", "dealer"),
@@ -66,6 +66,18 @@ def test_f3_protocol_comparison(benchmark, table_sink):
     assert by_key[("bracha", "local", 10)][5] > by_key[("benor", "local", 10)][5]
     # Common-coin Bracha decides in few rounds at every n.
     assert all(by_key[("bracha", "dealer", n)][3] <= 4 for n in sizes)
+    bench_sink(
+        "f3_baselines",
+        {
+            "bracha_msgs_per_round_n10": round(
+                by_key[("bracha", "dealer", 10)][5], 1
+            ),
+            "mmr14_msgs_per_round_n10": round(
+                by_key[("mmr14", "dealer", 10)][5], 1
+            ),
+        },
+        meta={"sizes": sizes, "trials": TRIALS},
+    )
 
 
 def test_f3_fault_tolerance_within_envelopes(benchmark, table_sink):

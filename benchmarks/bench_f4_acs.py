@@ -45,7 +45,7 @@ def run_acs_epoch(n, seed, silent=()):
     return committed, sim.metrics.sent, sim.steps
 
 
-def test_f4_acs_commit_counts(benchmark, table_sink):
+def test_f4_acs_commit_counts(benchmark, table_sink, bench_sink):
     configs = [(4, 0), (4, 1), (7, 0), (7, 2)]
 
     def experiment():
@@ -77,6 +77,18 @@ def test_f4_acs_commit_counts(benchmark, table_sink):
         n, n_silent = row[0], row[1]
         t = (n - 1) // 3
         assert row[3] >= n - t, f"ACS must commit at least n−t at n={n}"
+    bench_sink(
+        "f4_acs",
+        {
+            "min_committed_n7_silent2": next(
+                row[3] for row in rows if row[0] == 7 and row[1] == 2
+            ),
+            "mean_msgs_n4": round(
+                next(row[5] for row in rows if (row[0], row[1]) == (4, 0)), 1
+            ),
+        },
+        meta={"trials": TRIALS},
+    )
 
 
 def test_f4_replicated_log_throughput(benchmark, table_sink):

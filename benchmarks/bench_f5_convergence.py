@@ -49,7 +49,7 @@ def convergence_curve(n, coin, seed):
     return curve, flips, adoptions
 
 
-def test_f5_convergence_dynamics(benchmark, table_sink):
+def test_f5_convergence_dynamics(benchmark, table_sink, bench_sink):
     configs = [(7, "local"), (7, "dealer"), (10, "dealer")]
 
     def experiment():
@@ -90,3 +90,11 @@ def test_f5_convergence_dynamics(benchmark, table_sink):
     local = next(row for row in rows if row[0] == 7 and row[1] == "local")
     common = next(row for row in rows if row[0] == 7 and row[1] == "dealer")
     assert common[3] >= local[3] - 0.1  # r2 column
+    bench_sink(
+        "f5_convergence",
+        {
+            "common_r2_fraction_n7": round(common[3], 3),
+            "local_r2_fraction_n7": round(local[3], 3),
+        },
+        meta={"trials": TRIALS, "max_round": MAX_ROUND},
+    )

@@ -29,7 +29,7 @@ def _timed(fn):
     return (time.perf_counter() - start) * 1000.0, result
 
 
-def test_r1_fabric_comparison(benchmark, table_sink, smoke):
+def test_r1_fabric_comparison(benchmark, table_sink, bench_sink, smoke):
     sizes = [4] if smoke else [4, 7, 10]
     trials = 1 if smoke else 3
     fabric_labels = {"sim": "simulator", "local": "asyncio", "tcp": "tcp"}
@@ -73,9 +73,20 @@ def test_r1_fabric_comparison(benchmark, table_sink, smoke):
         fabrics == {"simulator", "asyncio", "tcp"}
         for fabrics in fabrics_per_n.values()
     )
+    by_fabric = {row[1]: row for row in rows if row[0] == 4}
+    bench_sink(
+        "r1_fabric_comparison",
+        {
+            "sim_ms": by_fabric["simulator"][2],
+            "local_ms": by_fabric["asyncio"][2],
+            "tcp_ms": by_fabric["tcp"][2],
+            "messages_n4": by_fabric["simulator"][3],
+        },
+        meta={"sizes": sizes, "trials": trials},
+    )
 
 
-def test_r1_instance_batching(benchmark, table_sink, smoke):
+def test_r1_instance_batching(benchmark, table_sink, bench_sink, smoke):
     batches = [1, 4] if smoke else [1, 2, 4, 8, 16]
     n = 4
 
@@ -112,3 +123,13 @@ def test_r1_instance_batching(benchmark, table_sink, smoke):
     per_instance = {row[0]: row[2] for row in rows}
     largest = max(batches)
     assert per_instance[largest] < per_instance[1] * 2.0
+    msgs_per_instance = {row[0]: row[4] for row in rows}
+    bench_sink(
+        "r1_instance_batching",
+        {
+            "x1_ms": per_instance[1],
+            "x4_ms": per_instance[4],
+            "x4_msgs_per_instance": msgs_per_instance[4],
+        },
+        meta={"batches": batches, "n": n},
+    )

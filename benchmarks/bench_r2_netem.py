@@ -28,7 +28,7 @@ def _timed(fn):
     return (time.perf_counter() - start) * 1000.0, result
 
 
-def test_r2_latency_vs_loss(benchmark, table_sink, smoke):
+def test_r2_latency_vs_loss(benchmark, table_sink, bench_sink, smoke):
     loss_rates = [0.0, 0.1] if smoke else [0.0, 0.05, 0.1, 0.2, 0.3]
     fabrics = ["local"] if smoke else ["local", "tcp"]
     trials = 1 if smoke else 3
@@ -80,9 +80,20 @@ def test_r2_latency_vs_loss(benchmark, table_sink, smoke):
     # highest rate the link dropped frames and the layer resent some.
     lossiest = [row for row in rows if row[1] == max(loss_rates)]
     assert all(row[4] > 0 for row in lossiest)
+    local = {row[1]: row for row in rows if row[0] == "local"}
+    bench_sink(
+        "r2_latency_vs_loss",
+        {
+            "local_loss0_ms": local[0.0][2],
+            "local_loss10_ms": local[0.1][2],
+            "local_loss10_dropped": local[0.1][4],
+            "local_loss10_retransmitted": local[0.1][5],
+        },
+        meta={"loss_rates": loss_rates, "fabrics": fabrics, "trials": trials},
+    )
 
 
-def test_r2_partition_heal_latency(benchmark, table_sink, smoke):
+def test_r2_partition_heal_latency(benchmark, table_sink, bench_sink, smoke):
     windows = [0.05, 0.2] if smoke else [0.05, 0.1, 0.2, 0.4]
 
     def experiment():
@@ -115,3 +126,13 @@ def test_r2_partition_heal_latency(benchmark, table_sink, smoke):
         ),
     )
     assert all(row[2] > 0 and row[3] > 0 for row in rows)
+    by_window = {row[0]: row for row in rows}
+    bench_sink(
+        "r2_partition_heal",
+        {
+            "window200_ms": by_window[0.2][1],
+            "window200_dropped": by_window[0.2][2],
+            "window200_retransmitted": by_window[0.2][3],
+        },
+        meta={"windows": windows},
+    )

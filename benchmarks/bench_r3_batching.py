@@ -26,7 +26,7 @@ def _timed(fn):
     return (time.perf_counter() - start) * 1000.0, result
 
 
-def test_r3_batched_vs_unbatched(benchmark, table_sink, smoke):
+def test_r3_batched_vs_unbatched(benchmark, table_sink, bench_sink, smoke):
     instances = 4 if smoke else 8
     trials = 1 if smoke else 3
     fabrics = ["local", "tcp"]
@@ -80,3 +80,14 @@ def test_r3_batched_vs_unbatched(benchmark, table_sink, smoke):
     # frame saves a codec pass, a MAC, and a length-prefixed write).
     assert compression[("tcp", "flush")] >= 3.0
     assert compression[("local", "flush")] >= 3.0
+    timing = {(row[0], row[1]): row[2] for row in rows}
+    bench_sink(
+        "r3_batching",
+        {
+            "local_flush_msgs_per_frame": round(compression[("local", "flush")], 2),
+            "tcp_flush_msgs_per_frame": round(compression[("tcp", "flush")], 2),
+            "local_flush_ms_per_run": timing[("local", "flush")],
+            "tcp_flush_ms_per_run": timing[("tcp", "flush")],
+        },
+        meta={"instances": instances, "trials": trials},
+    )

@@ -12,7 +12,7 @@ from repro.analysis.stats import fit_power_law
 from repro.analysis.tables import format_table
 
 
-def test_t1_broadcast_scaling(benchmark, table_sink):
+def test_t1_broadcast_scaling(benchmark, table_sink, bench_sink):
     sizes = [4, 7, 10, 13, 16, 22, 31, 40]
 
     def experiment():
@@ -40,9 +40,14 @@ def test_t1_broadcast_scaling(benchmark, table_sink):
     )
     assert all(row[1] == row[2] for row in rows), "cost must match the model exactly"
     assert 1.9 < exponent < 2.1
+    bench_sink(
+        "t1_broadcast_scaling",
+        {"fitted_exponent": round(exponent, 3), "messages_n40": messages[-1]},
+        meta={"sizes": sizes},
+    )
 
 
-def test_t1_broadcast_fault_matrix(benchmark, table_sink):
+def test_t1_broadcast_fault_matrix(benchmark, table_sink, bench_sink):
     trials = 10
 
     def experiment():
@@ -78,3 +83,11 @@ def test_t1_broadcast_fault_matrix(benchmark, table_sink):
     assert sum(row[5] for row in rows) == 0, "no consistency/totality violations"
     honest = [row for row in rows if row[1] == "honest"]
     assert all(row[3] == trials for row in honest), "honest senders always deliver"
+    bench_sink(
+        "t1_broadcast_faults",
+        {
+            "violations": sum(row[5] for row in rows),
+            "honest_delivered": sum(row[3] for row in honest),
+        },
+        meta={"trials": trials},
+    )

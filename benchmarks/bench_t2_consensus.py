@@ -16,7 +16,7 @@ from repro.params import max_faults
 TRIALS = 8
 
 
-def test_t2_consensus_matrix(benchmark, table_sink):
+def test_t2_consensus_matrix(benchmark, table_sink, bench_sink):
     configs = [
         (4, "unanimous", {}),
         (4, "split", {}),
@@ -67,3 +67,12 @@ def test_t2_consensus_matrix(benchmark, table_sink):
     unanimous = [row for row in rows if row[2] == "unanimous" and row[3] == "none"]
     assert all(row[5] == 1.0 for row in unanimous), "unanimity decides in round 1"
     assert all(row[6] <= 30 for row in rows), "no runaway round counts"
+    bench_sink(
+        "t2_consensus_matrix",
+        {
+            "configs": len(rows),
+            "max_rounds_observed": max(row[6] for row in rows),
+            "unanimous_mean_rounds": unanimous[0][5],
+        },
+        meta={"trials": TRIALS},
+    )

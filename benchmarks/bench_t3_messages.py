@@ -17,7 +17,7 @@ from repro.analysis.tables import format_table
 TRIALS = 5
 
 
-def test_t3_messages_per_round(benchmark, table_sink):
+def test_t3_messages_per_round(benchmark, table_sink, bench_sink):
     sizes = [4, 7, 10, 13]
 
     def experiment():
@@ -51,3 +51,9 @@ def test_t3_messages_per_round(benchmark, table_sink):
     assert 2.6 < exponent < 3.3
     # measured stays below the ceiling (not every instance completes all waves)
     assert all(row[1] <= row[2] for row in rows)
+    bench_sink(
+        "t3_messages_per_round",
+        {"fitted_exponent": round(exponent, 3),
+         "msgs_per_round_n13": round(rows[-1][1], 1)},
+        meta={"sizes": sizes, "trials": TRIALS},
+    )

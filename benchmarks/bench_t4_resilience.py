@@ -29,7 +29,7 @@ def classify(result):
     return "ok"
 
 
-def test_t4_resilience_boundary(benchmark, table_sink):
+def test_t4_resilience_boundary(benchmark, table_sink, bench_sink):
     def experiment():
         rows = []
         for injected in (0, 1, 2, 3, 4):
@@ -68,4 +68,14 @@ def test_t4_resilience_boundary(benchmark, table_sink):
     assert all(row[3] == TRIALS for row in below), "within the bound: all ok"
     assert all(row[3] < TRIALS for row in at_boundary), (
         "beyond the bound the adversary must win at least sometimes"
+    )
+    bench_sink(
+        "t4_resilience_boundary",
+        {
+            "ok_within_bound": sum(row[3] for row in below),
+            "failures_beyond_bound": sum(
+                TRIALS - row[3] for row in at_boundary
+            ),
+        },
+        meta={"n": N, "trials": TRIALS},
     )

@@ -91,7 +91,7 @@ def test_t5b_bracha_blocks_the_same_forgery(benchmark, table_sink):
     assert state["decide_support"] == {0: 0, 1: 0}
 
 
-def test_t5c_bracha_end_to_end_under_attack(benchmark, table_sink):
+def test_t5c_bracha_end_to_end_under_attack(benchmark, table_sink, bench_sink):
     def experiment():
         clean = 0
         for seed in range(TRIALS):
@@ -115,3 +115,8 @@ def test_t5c_bracha_end_to_end_under_attack(benchmark, table_sink):
         ),
     )
     assert clean == TRIALS
+    bench_sink(
+        "t5_validation",
+        {"bracha_clean_decisions": clean},
+        meta={"trials": TRIALS},
+    )

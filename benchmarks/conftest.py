@@ -26,6 +26,25 @@ def smoke(request):
 
 
 @pytest.fixture
+def bench_sink(request):
+    """Callable(name, metrics, meta=None): write ``BENCH_<name>.json``.
+
+    The perf-trajectory emitter: headline scalars land in
+    ``benchmarks/out/BENCH_<name>.json`` (mode ``smoke`` or ``full``),
+    uploaded by CI as artifacts and gated by
+    ``python -m repro.obs.check_floors benchmarks/floors.json``.
+    """
+    from repro.obs.bench import emit_bench
+
+    mode = "smoke" if request.config.getoption("--smoke") else "full"
+
+    def sink(name: str, metrics, meta=None):
+        return emit_bench(name, metrics, meta=meta, mode=mode, out_dir=OUT_DIR)
+
+    return sink
+
+
+@pytest.fixture
 def table_sink():
     """Callable(name, text): print a table and persist it under out/."""
 

@@ -250,6 +250,7 @@ class BenOrConsensus(ProtocolModule):
         self.decision = bit
         self.decision_round = round_
         self.ctx.note(f"ben-or decide {bit} in round {round_}")
+        self.ctx.decide(bit, round=round_)
         if not self._sent_decide:
             self._sent_decide = True
             self.ctx.broadcast(BenOrDecide(bit))

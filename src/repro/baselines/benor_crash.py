@@ -205,6 +205,7 @@ class BenOrCrashConsensus(ProtocolModule):
         self.decision = bit
         self.decision_round = round_
         self.ctx.note(f"ben-or-crash decide {bit} in round {round_}")
+        self.ctx.decide(bit, round=round_)
         if not self._sent_decide:
             self._sent_decide = True
             self.ctx.broadcast(BenOrDecide(bit))

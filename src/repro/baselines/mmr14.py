@@ -223,6 +223,7 @@ class Mmr14Consensus(ProtocolModule):
         self.decision = bit
         self.decision_round = round_
         self.ctx.note(f"mmr14 decide {bit} in round {round_}")
+        self.ctx.decide(bit, round=round_)
         if not self._sent_decide:
             self._sent_decide = True
             self.ctx.broadcast(MmrDecide(bit))

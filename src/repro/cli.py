@@ -19,6 +19,8 @@ Subcommands:
   equivocating sender).
 * ``attack`` — the scripted Ben-Or disagreement attack across seeds.
 * ``sweep`` — repeated runs of one configuration with aggregate stats.
+* ``report`` — analysis tables (decision latency, per-round timing)
+  from a JSONL trace produced by ``observe: jsonl``.
 
 Examples::
 
@@ -46,6 +48,8 @@ from .adversary import attack_success_rate
 from .analysis.stats import summarize
 from .analysis.tables import format_table
 from .errors import ReproError
+from .obs import load_events
+from .obs.report import render_report
 from .scenario import (
     CATALOG,
     FABRICS,
@@ -110,11 +114,47 @@ def _print_result(scenario: Scenario, result: Any) -> None:
         print(f"wall time : {result.virtual_time * 1000:.1f} ms")
         for pid, latency in sorted(result.meta.get("decision_latency", {}).items()):
             print(f"  p{pid} decided after {latency * 1000:.1f} ms")
+    if result.metrics is not None and result.metrics.histograms:
+        # Counters/gauges duplicate the lines above; the histograms
+        # (decision-latency quantiles) are the snapshot-only view.
+        # Simulator latencies are virtual-time units, not seconds.
+        scale, unit = (1.0, "vt") if scenario.fabric == "sim" else (1000.0, "ms")
+        print("latency   :")
+        for name in sorted(result.metrics.histograms):
+            h = result.metrics.histograms[name]
+            print(f"  {name}: n={int(h.get('count', 0))} "
+                  f"p50={h.get('p50', 0.0) * scale:.2f}{unit} "
+                  f"p95={h.get('p95', 0.0) * scale:.2f}{unit} "
+                  f"p99={h.get('p99', 0.0) * scale:.2f}{unit} "
+                  f"max={h.get('max', 0.0) * scale:.2f}{unit}")
+    obs = result.meta.get("obs")
+    if obs:
+        where = obs.get("path") or f"{obs.get('retained', 0)} retained in memory"
+        print(f"observe   : {obs['events']} events ({obs['sink']}: {where})")
 
 
 # ---------------------------------------------------------------------------
 # Subcommands
 # ---------------------------------------------------------------------------
+
+
+def _check_summary(result: Any) -> str:
+    """One-line metrics readout for ``run --check`` — the typed snapshot
+    (decisions, frames, retransmits), not a raw meta dict repr."""
+    snapshot = result.metrics
+    if snapshot is None:
+        return f"decisions={len(result.decisions)}"
+    parts = [f"decisions={snapshot.counter('decisions')}"]
+    frames = snapshot.counter("frames_sent")
+    if frames:
+        parts.append(f"frames={frames}")
+    retransmits = snapshot.counter("netem_retransmitted")
+    if retransmits:
+        parts.append(f"retransmits={retransmits}")
+    latency = snapshot.histogram("decision_latency")
+    if latency.get("count"):
+        parts.append(f"p99={latency.get('p99', 0.0) * 1000:.1f}ms")
+    return " ".join(parts)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -131,19 +171,21 @@ def cmd_run(args: argparse.Namespace) -> int:
         overrides["fabric"] = args.fabric
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.observe is not None:
+        overrides["observe"] = args.observe
 
     failed = 0
     for scenario in scenarios:
         label = scenario.name or "<file>"
         if args.check:
             try:
-                run_scenario(scenario, **overrides)
+                result = run_scenario(scenario, **overrides)
             except ReproError as exc:
                 failed += 1
                 print(f"FAIL  {label}: {exc}")
             else:
                 fabric = overrides.get("fabric", scenario.fabric)
-                print(f"ok    {label} [{fabric}]")
+                print(f"ok    {label} [{fabric}] {_check_summary(result)}")
         else:
             if overrides:
                 scenario = scenario.replace(**overrides)
@@ -206,6 +248,7 @@ def cmd_run_net(args: argparse.Namespace) -> int:
         base_port=args.base_port,
         timeout=args.timeout,
         link=parse_link(args.link),
+        observe=args.observe,
     )
     _print_result(scenario, run_scenario(scenario))
     return 0
@@ -242,6 +285,12 @@ def cmd_attack(args: argparse.Namespace) -> int:
         title=f"Scripted Ben-Or attack (n=4, t=1): "
               f"{wins}/{args.trials} agreement violations",
     ))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    events = load_events(args.file)
+    print(render_report(events, rounds_limit=args.rounds))
     return 0
 
 
@@ -305,6 +354,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the scenario's declared fabric")
     run_p.add_argument("--seed", type=int, default=None,
                        help="override the scenario's seed")
+    run_p.add_argument("--observe", default=None, metavar="MODE",
+                       help="override the scenario's observe mode: off, "
+                            "ring[:N], or jsonl[:PATH] (see `repro report`)")
     run_p.add_argument("--check", action="store_true",
                        help="terse ok/FAIL per scenario; exit 1 on any failure")
     run_p.set_defaults(func=cmd_run)
@@ -360,6 +412,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="wire-frame coalescing: off, flush, or size:N "
                               "(one MAC'd frame carries every message queued "
                               "per destination)")
+    run_net.add_argument("--observe", default="off", metavar="MODE",
+                         help="structured event capture: off, ring[:N], or "
+                              "jsonl[:PATH] (render with `repro report`)")
     run_net.add_argument("--link", action="append", metavar="KEY=VALUE",
                          help="netem link conditions (repeatable), e.g. "
                               "--link loss=0.1 --link delay=0.005; keys: "
@@ -385,6 +440,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--faults", nargs="*", metavar="PID:KIND")
     sweep.add_argument("--max-steps", type=int, default=4_000_000)
     sweep.set_defaults(func=cmd_sweep)
+
+    report = sub.add_parser(
+        "report",
+        help="render decision-latency and per-round tables from a JSONL trace",
+    )
+    report.add_argument("file", metavar="FILE",
+                        help="JSONL trace written by observe=jsonl[:PATH]")
+    report.add_argument("--rounds", type=int, default=40,
+                        help="max (instance, round) rows to print")
+    report.set_defaults(func=cmd_report)
 
     return parser
 

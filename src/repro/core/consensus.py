@@ -328,6 +328,7 @@ class BrachaConsensus(ProtocolModule):
         self.decision = bit
         self.decision_round = round_
         self.ctx.note(f"decide {bit} in round {round_}")
+        self.ctx.decide(bit, round=round_)
         self.emit(DecisionEvent(self.ctx.pid, bit, round_))
         if self.amplify_decides and not self._sent_decide:
             self._sent_decide = True

@@ -22,7 +22,7 @@ aggregates into ``RunResult.meta["netem"]``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..sim.rng import SplitRng, derive_seed
 from ..types import ProcessId
@@ -84,12 +84,30 @@ class LinkPolicy:
     Delivery(dropped=False, reason='', delays=(0.0,))
     """
 
-    def __init__(self, n: int, config: NetemConfig, seed: int = 0):
+    def __init__(
+        self,
+        n: int,
+        config: NetemConfig,
+        seed: int = 0,
+        observer: Optional[Any] = None,
+    ):
         config.validate_pids(n)
         self.n = n
         self.config = config
         self._rng = SplitRng(derive_seed(seed, "netem"))
         self.links: Dict[Tuple[ProcessId, ProcessId], LinkCounters] = {}
+        #: Optional structured-event hub; adverse verdicts (drops,
+        #: duplicates, reorders) become ``netem`` events.  Never draws
+        #: from the streams, so observing cannot move a run's verdicts.
+        self.observer = observer
+
+    def _verdict(self, src: ProcessId, dst: ProcessId, verdict: str, now: float) -> None:
+        if self.observer is not None:
+            self.observer.emit(
+                "netem", node=src,
+                detail={"link": f"{src}->{dst}", "verdict": verdict},
+                time=now,
+            )
 
     def _counters(self, src: ProcessId, dst: ProcessId) -> LinkCounters:
         counters = self.links.get((src, dst))
@@ -123,17 +141,20 @@ class LinkPolicy:
         for partition in self.config.partitions:
             if partition.active(now) and partition.severs(src, dst):
                 counters.dropped_partition += 1
+                self._verdict(src, dst, "dropped_partition", now)
                 return Delivery(dropped=True, reason="partition")
 
         stream = self._rng.stream("link", src, dst)
         if model.loss and stream.random() < model.loss:
             counters.dropped_loss += 1
+            self._verdict(src, dst, "dropped_loss", now)
             return Delivery(dropped=True, reason="loss")
 
         copies = 1
         if model.duplicate and stream.random() < model.duplicate:
             copies = 2
             counters.duplicated += 1
+            self._verdict(src, dst, "duplicated", now)
 
         if model.idle:
             return _PASS
@@ -151,6 +172,7 @@ class LinkPolicy:
         # duplicated frame whose copies are both held back counts once.
         if held_back:
             counters.reordered += 1
+            self._verdict(src, dst, "reordered", now)
         if any(delay > 0 for delay in delays):
             counters.delayed += 1
         return Delivery(delays=tuple(delays))

@@ -101,6 +101,7 @@ class ReliableLink:
         rto: float = 0.05,
         max_retries: int = 50,
         severed: Optional[Callable[[ProcessId, float], bool]] = None,
+        observer: Optional[Any] = None,
     ):
         self.inner = inner
         self.pid = inner.pid
@@ -114,6 +115,9 @@ class ReliableLink:
         # that never answer, not for windows the scenario promised would
         # close.
         self._severed = severed
+        #: Optional structured-event hub: resends and abandonments are
+        #: the link-layer facts worth a timeline entry.
+        self.observer = observer
         self._next_seq: Dict[ProcessId, int] = {}
         self._pending: Dict[Tuple[ProcessId, int], _Pending] = {}
         self._seen: Dict[ProcessId, _SeenWindow] = {}
@@ -228,6 +232,12 @@ class ReliableLink:
                 if entry.retries >= self.max_retries:
                     self._pending.pop(key, None)
                     self.abandoned += 1
+                    if self.observer is not None:
+                        self.observer.emit(
+                            "abandon", node=self.pid,
+                            detail={"dest": key[0], "seq": key[1],
+                                    "retries": entry.retries},
+                        )
                     continue
                 entry.retries += 1
                 entry.sent_at = now
@@ -236,6 +246,12 @@ class ReliableLink:
                 self.retransmitted_by_dest[dest] = (
                     self.retransmitted_by_dest.get(dest, 0) + 1
                 )
+                if self.observer is not None:
+                    self.observer.emit(
+                        "retransmit", node=self.pid,
+                        detail={"dest": dest, "seq": key[1],
+                                "retry": entry.retries},
+                    )
                 await self.inner.send(dest, entry.frame)
 
     # -- inspection ----------------------------------------------------------

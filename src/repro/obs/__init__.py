@@ -1,0 +1,57 @@
+"""Unified observability: structured events, metrics, sinks, reports.
+
+This package is the fabric-agnostic observability layer of the
+repository.  Every execution world — the discrete-event simulator, the
+asyncio runtime over local queues, and the authenticated TCP fabric —
+emits the same structured :class:`~repro.obs.events.Event` stream from
+the same logical points (protocol sends/deliveries, decisions, wire
+frames, retransmissions, netem verdicts), so one fixed-seed run can be
+inspected, diffed, and replayed identically regardless of where it ran.
+
+The pieces:
+
+* :class:`~repro.obs.events.Event` — the structured record: monotonic
+  time, node, protocol instance, round, kind, detail
+  (:mod:`repro.obs.events`);
+* :class:`~repro.obs.observer.Observer` — the emission hub the fabrics
+  talk to; near-zero cost when disabled (one ``None`` check on the hot
+  path) (:mod:`repro.obs.observer`);
+* sinks — in-memory ring buffer (default), JSONL file writer, and a
+  human-readable timeline renderer (:mod:`repro.obs.sinks`);
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  fixed-bucket histograms (p50/p95/p99 without dependencies) snapshotted
+  onto every :class:`~repro.types.RunResult`
+  (:mod:`repro.obs.metrics`);
+* ``repro report`` — per-instance decision-latency and per-round timing
+  tables rendered from a JSONL trace (:mod:`repro.obs.report`);
+* the perf gate — benchmarks emit ``BENCH_<name>.json`` headline
+  numbers through :mod:`repro.obs.bench`, and
+  ``python -m repro.obs.check_floors`` compares them against committed
+  floors so CI catches regressions (:mod:`repro.obs.check_floors`).
+
+Selection is declarative: the ``observe`` :class:`~repro.scenario.Scenario`
+field (``off`` | ``ring`` | ``ring:N`` | ``jsonl`` | ``jsonl:PATH``)
+follows the same validated-field convention as ``link`` and
+``batching``.  See ``docs/observability.md``.
+"""
+
+from .events import Event, classify_payload
+from .metrics import Histogram, MetricsRegistry, MetricsSnapshot
+from .observer import OBSERVE_MODES, Observer, build_observer, parse_observe
+from .sinks import JsonlSink, RingSink, load_events, render_events
+
+__all__ = [
+    "Event",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "OBSERVE_MODES",
+    "Observer",
+    "RingSink",
+    "build_observer",
+    "classify_payload",
+    "load_events",
+    "parse_observe",
+    "render_events",
+]

@@ -1,0 +1,88 @@
+"""Benchmark trajectory emission: ``BENCH_<name>.json`` headline numbers.
+
+Every benchmark in ``benchmarks/`` reports its headline scalars through
+:func:`emit_bench`, which writes one JSON document per benchmark to
+``benchmarks/out/BENCH_<name>.json``.  The files are the repository's
+perf *trajectory*: CI uploads them as artifacts on every run, and the
+floor checker (:mod:`repro.obs.check_floors`) compares them against the
+committed floors in ``benchmarks/floors.json`` so a regression fails
+the build instead of silently eroding.
+
+The document shape is deliberately minimal and stable::
+
+    {
+      "bench": "r3_batching",
+      "mode": "smoke",
+      "metrics": {"tcp_flush_msgs_per_frame": 4.1, ...},
+      "meta": {...}                      # free-form context, not gated
+    }
+
+Only ``metrics`` is gated; ``meta`` carries run context (sizes, trial
+counts) for humans reading the artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Mapping, Optional, Union
+
+from ..errors import ConfigError
+
+#: Default output directory — shared with the benchmarks' table sink.
+DEFAULT_OUT_DIR = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "out"
+
+
+def bench_path(name: str, out_dir: Union[str, pathlib.Path, None] = None) -> pathlib.Path:
+    directory = pathlib.Path(out_dir) if out_dir is not None else DEFAULT_OUT_DIR
+    return directory / f"BENCH_{name}.json"
+
+
+def emit_bench(
+    name: str,
+    metrics: Mapping[str, Any],
+    meta: Optional[Mapping[str, Any]] = None,
+    mode: str = "full",
+    out_dir: Union[str, pathlib.Path, None] = None,
+) -> pathlib.Path:
+    """Write one benchmark's headline numbers; return the file path.
+
+    ``metrics`` values must be numbers — they are what the floor check
+    gates.  ``name`` must be filesystem-safe (the benchmark's own name).
+    """
+    if not name or any(c in name for c in "/\\ "):
+        raise ConfigError(f"bad benchmark name {name!r}")
+    clean: Dict[str, float] = {}
+    for key, value in metrics.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigError(
+                f"benchmark metric {key!r} must be a number, got {value!r}"
+            )
+        clean[str(key)] = float(value)
+    path = bench_path(name, out_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "bench": name,
+        "mode": mode,
+        "metrics": clean,
+        "meta": dict(meta or {}),
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: Union[str, pathlib.Path]) -> Dict[str, Any]:
+    """Read a ``BENCH_*.json`` document, validating its shape."""
+    path = pathlib.Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise ConfigError(f"cannot read bench file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{path}: invalid bench JSON: {exc}") from exc
+    if not isinstance(data, dict) or "metrics" not in data:
+        raise ConfigError(f"{path}: not a bench document (no 'metrics')")
+    return data
+
+
+__all__ = ["DEFAULT_OUT_DIR", "bench_path", "emit_bench", "load_bench"]

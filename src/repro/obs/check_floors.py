@@ -1,0 +1,181 @@
+"""The perf-trajectory gate: compare ``BENCH_*.json`` against floors.
+
+Usage (CI runs the first form after the smoke benchmarks)::
+
+    python -m repro.obs.check_floors benchmarks/floors.json
+    python -m repro.obs.check_floors benchmarks/floors.json --seed
+
+``floors.json`` maps benchmark name → metric → bound::
+
+    {
+      "r3_batching": {
+        "tcp_flush_msgs_per_frame": {"min": 3.0},
+        "tcp_flush_ms_per_run": {"max": 5000.0}
+      }
+    }
+
+``min`` floors throughput-like metrics (must not fall below); ``max``
+caps latency-like metrics (must not rise above).  A benchmark named in
+the floors file whose ``BENCH_<name>.json`` is missing fails the check
+— emission rot is a regression too.  Benchmarks with emitted numbers
+but no committed floors pass with a note, so new benchmarks can land
+before their floors are tuned.
+
+``--seed`` regenerates the floors file from the currently-emitted
+numbers, applying a safety margin (min bounds at 50% of observed, max
+bounds at 3x observed) so ordinary machine-to-machine variance does not
+trip the gate.  Run the smoke benchmarks first, then commit the result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Dict, List, Optional
+
+from ..errors import ConfigError
+from .bench import DEFAULT_OUT_DIR, bench_path, load_bench
+
+#: Seeding margins: committed floors leave headroom for machine variance.
+SEED_MIN_FACTOR = 0.5
+SEED_MAX_FACTOR = 3.0
+
+
+def load_floors(path: pathlib.Path) -> Dict[str, Dict[str, Dict[str, float]]]:
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise ConfigError(f"cannot read floors file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{path}: invalid floors JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigError(f"{path}: floors file must be a mapping")
+    for bench, metrics in data.items():
+        if not isinstance(metrics, dict):
+            raise ConfigError(f"{path}: floors for {bench!r} must be a mapping")
+        for metric, bound in metrics.items():
+            if not isinstance(bound, dict) or not (
+                set(bound) and set(bound) <= {"min", "max"}
+            ):
+                raise ConfigError(
+                    f"{path}: bound for {bench}.{metric} must be "
+                    f"{{'min': x}} and/or {{'max': x}}, got {bound!r}"
+                )
+    return data
+
+
+def check(
+    floors: Dict[str, Dict[str, Dict[str, float]]],
+    out_dir: Optional[pathlib.Path] = None,
+) -> List[str]:
+    """Return the list of violations (empty = the gate passes)."""
+    violations: List[str] = []
+    for bench, metrics in sorted(floors.items()):
+        path = bench_path(bench, out_dir)
+        if not path.exists():
+            violations.append(
+                f"{bench}: no emitted numbers at {path} "
+                "(benchmark did not run or stopped emitting)"
+            )
+            continue
+        document = load_bench(path)
+        emitted = document.get("metrics", {})
+        for metric, bound in sorted(metrics.items()):
+            if metric not in emitted:
+                violations.append(
+                    f"{bench}.{metric}: not emitted (keys: {sorted(emitted)})"
+                )
+                continue
+            value = float(emitted[metric])
+            if "min" in bound and value < float(bound["min"]):
+                violations.append(
+                    f"{bench}.{metric}: {value:g} fell below floor "
+                    f"{float(bound['min']):g}"
+                )
+            if "max" in bound and value > float(bound["max"]):
+                violations.append(
+                    f"{bench}.{metric}: {value:g} exceeded ceiling "
+                    f"{float(bound['max']):g}"
+                )
+    return violations
+
+
+#: Metrics gated with a ``max`` bound when seeding (latency-like); all
+#: other metrics get a ``min`` bound (throughput-like).
+_MAX_SUFFIXES = ("_ms", "_ms_per_run", "_seconds", "_latency")
+
+
+def seed_floors(
+    out_dir: Optional[pathlib.Path] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Derive a floors mapping from every emitted ``BENCH_*.json``."""
+    directory = pathlib.Path(out_dir) if out_dir is not None else DEFAULT_OUT_DIR
+    floors: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        document = load_bench(path)
+        bench = document.get("bench", path.stem[len("BENCH_"):])
+        bounds: Dict[str, Dict[str, float]] = {}
+        for metric, value in sorted(document.get("metrics", {}).items()):
+            value = float(value)
+            if any(metric.endswith(sfx) for sfx in _MAX_SUFFIXES):
+                bounds[metric] = {"max": round(value * SEED_MAX_FACTOR, 6)}
+            elif value > 0:
+                bounds[metric] = {"min": round(value * SEED_MIN_FACTOR, 6)}
+        if bounds:
+            floors[bench] = bounds
+    return floors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.check_floors",
+        description="Gate benchmark headline numbers against committed floors.",
+    )
+    parser.add_argument("floors", help="path to floors.json")
+    parser.add_argument(
+        "--out-dir", default=None,
+        help="directory holding BENCH_*.json (default benchmarks/out)",
+    )
+    parser.add_argument(
+        "--seed", action="store_true",
+        help="write floors derived from the currently-emitted numbers "
+             "(with safety margins) instead of checking",
+    )
+    args = parser.parse_args(argv)
+    out_dir = pathlib.Path(args.out_dir) if args.out_dir else None
+    floors_path = pathlib.Path(args.floors)
+
+    try:
+        if args.seed:
+            floors = seed_floors(out_dir)
+            if not floors:
+                print("error: no BENCH_*.json files to seed from", file=sys.stderr)
+                return 1
+            floors_path.write_text(
+                json.dumps(floors, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"seeded {floors_path} from {len(floors)} benchmark(s)")
+            return 0
+        floors = load_floors(floors_path)
+        violations = check(floors, out_dir)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    gated = sum(len(m) for m in floors.values())
+    if violations:
+        print(f"PERF GATE FAILED ({len(violations)} violation(s)):")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print(
+        f"perf gate ok: {gated} bound(s) across "
+        f"{len(floors)} benchmark(s) hold"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

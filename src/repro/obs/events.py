@@ -1,0 +1,136 @@
+"""The structured event schema shared by every fabric.
+
+An :class:`Event` is one timeline entry of a protocol execution:
+*when* (monotonic time — virtual on the simulator, seconds since run
+start on the runtime fabrics), *who* (node pid), *where in the protocol*
+(instance/module tag and round, when extractable), *what* (kind), and a
+JSON-safe detail.
+
+The schema is deliberately flat and JSON-friendly: every event
+serializes to one line of JSONL (:meth:`Event.to_dict`), loads back
+losslessly (:meth:`Event.from_dict`), and projects to a *logical* key
+(:meth:`Event.logical`) that strips time so event streams can be
+compared across fabrics — the same fixed-seed run on ``sim``, ``local``,
+and ``tcp`` differs in timing and interleaving but must agree on the
+logical protocol events (what the determinism tests in
+``tests/obs/test_trace_determinism.py`` hold the repository to).
+
+Event kinds emitted by the built-in instrumentation:
+
+====================  ======================================================
+kind                  emitted by
+====================  ======================================================
+``send``              a protocol message handed to the network (both worlds)
+``deliver``           a protocol message delivered to a process
+``note``              a protocol annotation (``ctx.note``)
+``decide``            a protocol instance reached its decision
+``frame``             the runtime node flushed one wire frame (batching)
+``retransmit``        the reliable link resent an unacked frame
+``abandon``           the reliable link gave up on a frame (faulty peer)
+``netem``             a link-policy verdict dropped/duplicated a frame
+====================  ======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+#: Stable field order for the JSONL encoding — one writer, one shape.
+_FIELDS = ("t", "kind", "node", "inst", "round", "detail")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured observability record."""
+
+    time: float
+    kind: str
+    node: Optional[int] = None
+    instance: Optional[str] = None
+    round: Optional[int] = None
+    detail: Any = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A compact JSON-ready mapping (``None`` fields omitted)."""
+        out: Dict[str, Any] = {"t": round_time(self.time), "kind": self.kind}
+        if self.node is not None:
+            out["node"] = self.node
+        if self.instance is not None:
+            out["inst"] = self.instance
+        if self.round is not None:
+            out["round"] = self.round
+        if self.detail is not None:
+            out["detail"] = self.detail
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Event":
+        return cls(
+            time=float(data.get("t", 0.0)),
+            kind=str(data.get("kind", "")),
+            node=data.get("node"),
+            instance=data.get("inst"),
+            round=data.get("round"),
+            detail=data.get("detail"),
+        )
+
+    def logical(self) -> Tuple[Any, ...]:
+        """The event without its timestamp — the cross-fabric identity."""
+        return (self.kind, self.node, self.instance, self.round, self.detail)
+
+    def render(self) -> str:
+        who = "  *" if self.node is None else f"p{self.node:>2}"
+        where = f" [{self.instance}]" if self.instance else ""
+        round_ = f" r{self.round}" if self.round is not None else ""
+        return (
+            f"[{self.time:>12.6f}] {who} {self.kind:<10}"
+            f"{where}{round_} {self.detail if self.detail is not None else ''}"
+        )
+
+
+def round_time(value: float) -> float:
+    """Quantize a timestamp to microseconds for a stable JSONL encoding.
+
+    Virtual times are already exact; wall-clock floats carry noise bits
+    that would make otherwise-identical streams differ textually.
+    """
+    return round(value, 6)
+
+
+def classify_payload(payload: Any) -> Tuple[Optional[str], Optional[int], str]:
+    """Best-effort ``(instance, round, detail)`` extraction from a payload.
+
+    Wire payloads are routed tuples ``(module_id, inner)``; the inner
+    message may carry a ``round`` attribute (Ben-Or / MMR-14 votes) or a
+    broadcast ``instance`` tuple of the conventional shape
+    ``(module_id, round, step, originator)`` (Bracha's consensus steps).
+    Extraction is observational only — unknown shapes degrade to
+    ``(None, None, repr(payload))``, never to an error.
+    """
+    instance: Optional[str] = None
+    round_: Optional[int] = None
+    inner = payload
+    if isinstance(payload, tuple) and len(payload) == 2 and isinstance(payload[0], str):
+        instance = payload[0]
+        inner = payload[1]
+
+    found = getattr(inner, "round", None)
+    if isinstance(found, int):
+        round_ = found
+    else:
+        # Broadcast messages name their instance; consensus instances are
+        # (module_id, round, step, originator) tuples by convention.
+        tag = getattr(inner, "instance", None)
+        if (
+            isinstance(tag, tuple)
+            and len(tag) == 4
+            and isinstance(tag[0], str)
+            and isinstance(tag[1], int)
+        ):
+            instance = tag[0]
+            round_ = tag[1]
+    return instance, round_, repr(inner)
+
+
+__all__ = ["Event", "classify_payload", "round_time"]

@@ -1,0 +1,147 @@
+"""Render analysis tables from a JSONL event trace.
+
+``repro report FILE`` is the operator's debugging story: given the
+JSONL trace a run produced under ``observe: jsonl``, it reconstructs
+
+* **per-instance decision latency** — for each protocol instance, when
+  each node decided (relative to the run's first event), with exact
+  p50/p95/p99 across nodes;
+* **per-round timing** — for each ``(instance, round)`` with traffic,
+  the time window between its first and last protocol message and the
+  message count, which is the round-based view Crain'20-style analyses
+  need;
+* **event totals** — counts by kind, including retransmissions, netem
+  verdicts, and wire frames when those layers were active.
+
+The functions are library-usable (the CLI calls :func:`render_report`,
+tests call the table builders directly).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.tables import format_table
+from .events import Event
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Exact percentile (nearest-rank with interpolation) of a small set."""
+    data = sorted(values)
+    if not data:
+        return 0.0
+    if len(data) == 1:
+        return data[0]
+    position = q * (len(data) - 1)
+    lo = int(position)
+    hi = min(lo + 1, len(data) - 1)
+    fraction = position - lo
+    return data[lo] + fraction * (data[hi] - data[lo])
+
+
+def decision_latency_table(events: List[Event]) -> str:
+    """Per-instance decision latency across nodes, from decide events."""
+    zero = min((e.time for e in events), default=0.0)
+    by_instance: Dict[str, List[float]] = {}
+    deciders: Dict[str, int] = {}
+    for event in events:
+        if event.kind != "decide":
+            continue
+        instance = event.instance or "<protocol>"
+        by_instance.setdefault(instance, []).append(event.time - zero)
+        deciders[instance] = deciders.get(instance, 0) + 1
+    rows = []
+    for instance in sorted(by_instance):
+        latencies = by_instance[instance]
+        rows.append([
+            instance,
+            deciders[instance],
+            f"{_percentile(latencies, 0.50) * 1000:.3f}",
+            f"{_percentile(latencies, 0.95) * 1000:.3f}",
+            f"{_percentile(latencies, 0.99) * 1000:.3f}",
+            f"{max(latencies) * 1000:.3f}",
+        ])
+    if not rows:
+        return "no decide events in trace"
+    return format_table(
+        ["instance", "deciders", "p50 ms", "p95 ms", "p99 ms", "max ms"],
+        rows,
+        title="Per-instance decision latency (relative to first event)",
+    )
+
+
+def round_timing_table(events: List[Event], limit: int = 40) -> str:
+    """First/last message time and count per ``(instance, round)``."""
+    zero = min((e.time for e in events), default=0.0)
+    windows: Dict[Tuple[str, int], List[float]] = {}
+    counts: Dict[Tuple[str, int], int] = {}
+    for event in events:
+        if event.kind not in ("send", "deliver"):
+            continue
+        if event.instance is None or event.round is None:
+            continue
+        key = (event.instance, event.round)
+        window = windows.get(key)
+        t = event.time - zero
+        if window is None:
+            windows[key] = [t, t]
+        else:
+            window[0] = min(window[0], t)
+            window[1] = max(window[1], t)
+        counts[key] = counts.get(key, 0) + 1
+    rows = []
+    for key in sorted(windows):
+        start, stop = windows[key]
+        rows.append([
+            key[0], key[1], counts[key],
+            f"{start * 1000:.3f}", f"{stop * 1000:.3f}",
+            f"{(stop - start) * 1000:.3f}",
+        ])
+    if not rows:
+        return "no round-tagged protocol messages in trace"
+    truncated = len(rows) > limit
+    shown = rows[:limit]
+    table = format_table(
+        ["instance", "round", "messages", "first ms", "last ms", "span ms"],
+        shown,
+        title="Per-round timing (protocol message windows)",
+    )
+    if truncated:
+        table += f"\n... {len(rows) - limit} more (instance, round) rows"
+    return table
+
+
+def kind_totals_table(events: List[Event]) -> str:
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    rows = [[kind, counts[kind]] for kind in sorted(counts)]
+    return format_table(
+        ["kind", "events"], rows,
+        title=f"Event totals ({len(events)} events)",
+    )
+
+
+def render_report(events: List[Event], rounds_limit: int = 40) -> str:
+    """The full ``repro report`` output for one trace."""
+    if not events:
+        return "empty trace (no events)"
+    span = max(e.time for e in events) - min(e.time for e in events)
+    parts = [
+        f"trace: {len(events)} events spanning {span * 1000:.3f} ms",
+        "",
+        kind_totals_table(events),
+        "",
+        decision_latency_table(events),
+        "",
+        round_timing_table(events, limit=rounds_limit),
+    ]
+    return "\n".join(parts)
+
+
+__all__ = [
+    "decision_latency_table",
+    "kind_totals_table",
+    "render_report",
+    "round_timing_table",
+]

@@ -40,6 +40,7 @@ from ..analysis.experiments import (
 from ..core.coin import CoinScheme
 from ..errors import ConfigError, LivenessFailure
 from ..net.auth import KeyRing
+from ..obs import MetricsRegistry, Observer
 from ..netem import (
     LinkPolicy,
     NetemConfig,
@@ -92,6 +93,7 @@ class Cluster:
         partitions: Optional[Any] = None,
         netem: Optional[NetemConfig] = None,
         batching: str = "off",
+        observer: Optional[Observer] = None,
     ):
         self.params = for_system(n, t)
         self.protocol = protocol
@@ -136,6 +138,12 @@ class Cluster:
         self._decision_times: Dict[ProcessId, float] = {}
         self._zero = 0.0
         self._started = False
+        self.observer = observer
+        self.registry = MetricsRegistry()
+        if self.observer is not None:
+            # One cluster-wide timeline: seconds since the run loops
+            # launched (the closure reads _zero when each event fires).
+            self.observer.bind_clock(lambda: time.monotonic() - self._zero)
 
     # -- assembly ------------------------------------------------------------
 
@@ -149,6 +157,7 @@ class Cluster:
 
         for pid in range(n):
             network = NodeNetwork(pid, self.params, seed=self.seed)
+            network.observer = self.observer
             if pid in self.faults:
                 behavior = build_plan_behavior(
                     pid, self.faults[pid], network, self.params,
@@ -158,6 +167,9 @@ class Cluster:
                 target: Any = behavior
             else:
                 process = Process(pid, network, self.params)  # type: ignore[arg-type]
+                process.on_decide = (
+                    lambda effect, p=pid: self._handle_decide(p, effect)
+                )
                 modules = self.plan.build(process)
                 self.stacks[pid] = modules
                 target = process
@@ -191,7 +203,9 @@ class Cluster:
             self._clock = (
                 TickClock() if self.transport_kind == "local" else WallClock()
             )
-            self._policy = LinkPolicy(n, self.netem, seed=self.seed)
+            self._policy = LinkPolicy(
+                n, self.netem, seed=self.seed, observer=self.observer
+            )
         if self.transport_kind == "local":
             self._hub = LocalHub(
                 n, codec_check=self.codec_check,
@@ -232,6 +246,7 @@ class Cluster:
                     severed=(
                         lambda dest, now, src=pid: policy.severed(src, dest, now)
                     ),
+                    observer=self.observer,
                 )
                 for pid, t in self.transports.items()
             }
@@ -239,6 +254,15 @@ class Cluster:
                 t.start_scan()
 
     # -- progress tracking ---------------------------------------------------
+
+    def _handle_decide(self, pid: ProcessId, effect: Any) -> None:
+        """A module surfaced a Decide effect: count it, emit the event."""
+        self.registry.count("module_decisions")
+        if self.observer is not None:
+            self.observer.emit(
+                "decide", node=pid, instance=effect.module,
+                round=effect.round, detail=effect.value,
+            )
 
     def _on_activation(self, node: Node) -> None:
         modules = self.stacks.get(node.pid)
@@ -391,6 +415,23 @@ class Cluster:
         result.meta["protocol"] = self.protocol
         result.meta["instances"] = self.instances
         result.meta["batching"] = self.batching
+
+        # The typed accounting lives on the registry; the historical
+        # meta keys below are kept for one release as a back-compat
+        # mirror of the same numbers (tests pin this equivalence).
+        registry = self.registry
+        registry.count("frames_sent", frames_sent)
+        registry.count("wire_messages_sent", wire_messages)
+        registry.count("messages_sent", result.messages_sent)
+        registry.count("messages_delivered", result.messages_delivered)
+        registry.count("decisions", len(result.decisions))
+        registry.gauge(
+            "messages_per_frame",
+            wire_messages / frames_sent if frames_sent else 0.0,
+        )
+        for latency in self._decision_times.values():
+            registry.observe("decision_latency", latency)
+
         result.meta["frames_sent"] = frames_sent
         result.meta["wire_messages_sent"] = wire_messages
         result.meta["messages_per_frame"] = (
@@ -401,11 +442,14 @@ class Cluster:
         if self.instances > 1:
             result.meta["instance_decisions"] = instance_decisions
         if self.transport_kind == "tcp":
-            result.meta["frames_rejected"] = sum(
+            frames_rejected = sum(
                 getattr(t, "rejected", 0) for t in self.transports.values()
             )
+            registry.count("frames_rejected", frames_rejected)
+            result.meta["frames_rejected"] = frames_rejected
         if self._policy is not None:
             self._collect_netem(result)
+        result.metrics = registry.snapshot()
         return result
 
     def _collect_netem(self, result: RunResult) -> None:
@@ -425,6 +469,9 @@ class Cluster:
             for dest, count in t.retransmitted_by_dest.items():
                 link = per_link.setdefault(f"{pid}->{dest}", {})
                 link["retransmitted"] = link.get("retransmitted", 0) + count
+        for name, value in totals.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.registry.count(f"netem_{name}", int(value))
         result.meta["netem"] = totals
         result.meta["netem_per_link"] = per_link
 

@@ -70,6 +70,9 @@ class NodeNetwork:
         self.trace = NullTrace()
         self.processes: dict[ProcessId, Any] = {}
         self.outbox: Deque[Tuple[ProcessId, Any]] = deque()
+        #: Optional structured-event hub (:class:`repro.obs.Observer`),
+        #: shared with every other node of the cluster.
+        self.observer: Optional[Any] = None
         self._clock_zero = time.monotonic()
 
     # -- NetworkAPI ----------------------------------------------------------
@@ -87,6 +90,8 @@ class NodeNetwork:
         # (or a Byzantine behavior) cannot forge another identity.
         self.metrics.record_send(self.pid, payload)
         self.outbox.append((dest, payload))
+        if self.observer is not None:
+            self.observer.message("send", self.pid, payload)
 
     def now(self) -> float:
         """Wall-clock seconds since this node booted (measurement only)."""
@@ -94,6 +99,8 @@ class NodeNetwork:
 
     def trace_note(self, pid: Optional[ProcessId], detail: Any) -> None:
         self.trace.note(self.now(), pid, detail)
+        if self.observer is not None:
+            self.observer.emit("note", node=pid, detail=detail)
 
     # -- node-side plumbing ---------------------------------------------------
 
@@ -190,12 +197,17 @@ class Node:
         responses it provokes coalesce into batched frames themselves —
         the pipelining half of the throughput win.
         """
+        observer = self.network.observer
         if isinstance(payload, WireBatch):
             for message in payload.messages:
                 self.messages_delivered += 1
+                if observer is not None:
+                    observer.message("deliver", self.pid, message)
                 self.target.deliver(sender, message)
         else:
             self.messages_delivered += 1
+            if observer is not None:
+                observer.message("deliver", self.pid, payload)
             self.target.deliver(sender, payload)
 
     async def _after_activation(self) -> None:
@@ -209,10 +221,16 @@ class Node:
         queued = self.network.drain()
         if not queued:
             return
+        observer = self.network.observer
         if self.batch_mode == "off":
             for dest, payload in queued:
                 self.frames_sent += 1
                 self.wire_messages_sent += 1
+                if observer is not None:
+                    observer.emit(
+                        "frame", node=self.pid,
+                        detail={"dest": dest, "messages": 1},
+                    )
                 await self.transport.send(dest, payload)
             return
         # Group by destination, preserving per-link message order and
@@ -227,6 +245,11 @@ class Node:
                 chunk = payloads[i:i + self.batch_limit]
                 self.frames_sent += 1
                 self.wire_messages_sent += len(chunk)
+                if observer is not None:
+                    observer.emit(
+                        "frame", node=self.pid,
+                        detail={"dest": dest, "messages": len(chunk)},
+                    )
                 if len(chunk) == 1:
                     await self.transport.send(dest, chunk[0])
                 else:

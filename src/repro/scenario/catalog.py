@@ -137,9 +137,10 @@ _entry(Scenario(
     name="batched-pipeline",
     description="The multi-instance pipeline with the batched message "
                 "path: every message queued per destination rides one "
-                "wire frame (one codec pass, one MAC on tcp).",
+                "wire frame (one codec pass, one MAC on tcp).  Captures "
+                "the structured event stream in the in-memory ring sink.",
     protocol="bracha", n=4, instances=4, proposals=1, fabric="local",
-    batching="flush", seed=29,
+    batching="flush", observe="ring", seed=29,
 ))
 
 # -- adverse-network entries (netem on the runtime fabrics) ------------------
@@ -177,9 +178,12 @@ _entry(Scenario(
     name="partition-heal",
     description="Scripted split-brain on a real transport: {0,1}|{2,3} "
                 "severed for the first 0.25s of modeled time, then healed; "
-                "retransmission re-delivers what the partition ate.",
+                "retransmission re-delivers what the partition ate.  "
+                "Writes the structured event stream to a JSONL trace "
+                "readable by `repro report`.",
     protocol="bracha", n=4, proposals=1, fabric="local", seed=43,
     partitions=[{"start": 0.0, "stop": 0.25, "groups": [[0, 1], [2, 3]]}],
+    observe="jsonl:benchmarks/out/partition-heal.jsonl",
 ))
 
 

@@ -59,6 +59,27 @@ METRICS = {
     "retransmitted": lambda r: float(
         r.meta.get("netem", {}).get("retransmitted", 0)
     ),
+    # Typed-snapshot metrics (RunResult.metrics); zero when the run's
+    # collector attached no snapshot.
+    "decisions": lambda r: float(
+        r.metrics.counter("decisions") if r.metrics is not None else 0
+    ),
+    "decision_latency_p50": lambda r: float(
+        r.metrics.quantile("decision_latency", "p50")
+        if r.metrics is not None else 0.0
+    ),
+    "decision_latency_p95": lambda r: float(
+        r.metrics.quantile("decision_latency", "p95")
+        if r.metrics is not None else 0.0
+    ),
+    "decision_latency_p99": lambda r: float(
+        r.metrics.quantile("decision_latency", "p99")
+        if r.metrics is not None else 0.0
+    ),
+    "decision_latency_max": lambda r: float(
+        r.metrics.histogram("decision_latency").get("max", 0.0)
+        if r.metrics is not None else 0.0
+    ),
 }
 
 

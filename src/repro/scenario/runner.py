@@ -23,7 +23,7 @@ and friends), so one scenario is directly comparable across fabrics::
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from ..errors import ConfigError, EventBudgetExceeded
 from ..analysis.experiments import (
@@ -32,6 +32,7 @@ from ..analysis.experiments import (
     verify_instance_outcomes,
     verify_outcome,
 )
+from ..obs import MetricsRegistry, Observer, build_observer
 from ..sim.process import Process
 from ..sim.rng import derive_seed
 from ..sim.runner import Simulation
@@ -51,10 +52,20 @@ def run(scenario: Scenario, check: bool = True, **overrides: Any) -> RunResult:
     """
     if overrides:
         scenario = scenario.replace(**overrides)
-    if scenario.fabric == "sim":
-        result = _run_sim(scenario, check)
-    else:
-        result = _run_runtime(scenario, check)
+    observer = build_observer(scenario.observe)
+    try:
+        if scenario.fabric == "sim":
+            result = _run_sim(scenario, check, observer)
+        else:
+            result = _run_runtime(scenario, check, observer)
+    finally:
+        # Flush/close the sink even when verification raises, so a
+        # failing run still leaves a readable JSONL trace behind.
+        summary = observer.close() if observer is not None else None
+    if observer is not None:
+        result.meta["obs"] = summary
+        if summary.get("sink") == "ring":
+            result.meta["obs_events"] = observer.events()
     result.meta["scenario"] = scenario.name or "<inline>"
     result.meta["fabric"] = scenario.fabric
     return result
@@ -81,7 +92,9 @@ def repeat(
 # ---------------------------------------------------------------------------
 
 
-def _run_sim(scenario: Scenario, check: bool) -> RunResult:
+def _run_sim(
+    scenario: Scenario, check: bool, observer: Optional[Observer] = None
+) -> RunResult:
     params = scenario.params
     plan = ProtocolPlan(
         scenario.protocol, params, scenario.coin_name,
@@ -91,6 +104,23 @@ def _run_sim(scenario: Scenario, check: bool) -> RunResult:
     faults = scenario.faults_dict()
 
     sim = Simulation(seed=scenario.seed, scheduler=scenario.build_scheduler())
+    registry = MetricsRegistry()
+    if observer is not None:
+        observer.bind_clock(lambda: sim.now)
+        sim.network.observer = observer
+    # First-Decide virtual time per node, captured the moment the effect
+    # applies — richer than stamping every decision with the end time.
+    decide_times: Dict[ProcessId, float] = {}
+
+    def _on_decide(pid: ProcessId, effect: Any) -> None:
+        registry.count("module_decisions")
+        decide_times.setdefault(pid, sim.now)
+        if observer is not None:
+            observer.emit(
+                "decide", node=pid, instance=effect.module,
+                round=effect.round, detail=effect.value,
+            )
+
     stacks: Dict[ProcessId, List[Any]] = {}
     behaviors: Dict[ProcessId, Any] = {}
     # ``batching="off"`` flushes each effect eagerly (the historical
@@ -108,6 +138,7 @@ def _run_sim(scenario: Scenario, check: bool) -> RunResult:
             behaviors[pid] = behavior
         else:
             process = Process(pid, sim.network, params, eager=eager)
+            process.on_decide = lambda effect, p=pid: _on_decide(p, effect)
             stacks[pid] = plan.build(process)
 
     sim.start()
@@ -161,6 +192,14 @@ def _run_sim(scenario: Scenario, check: bool) -> RunResult:
     result.meta["batching"] = scenario.batching
     fill_common_meta(result, proposals, behaviors, sim.metrics.sent_by_kind)
 
+    registry.count("messages_sent", result.messages_sent)
+    registry.count("messages_delivered", result.messages_delivered)
+    registry.count("decisions", len(result.decisions))
+    registry.gauge("virtual_time", result.virtual_time)
+    for latency in decide_times.values():
+        registry.observe("decision_latency", latency)
+    result.metrics = registry.snapshot()
+
     if scenario.protocol == "acs":
         outputs = {
             pid: modules[0].output
@@ -200,7 +239,9 @@ def _check_acs_liveness(
 # ---------------------------------------------------------------------------
 
 
-def _run_runtime(scenario: Scenario, check: bool) -> RunResult:
+def _run_runtime(
+    scenario: Scenario, check: bool, observer: Optional[Observer] = None
+) -> RunResult:
     from ..runtime.cluster import run_cluster_sync
 
     if scenario.stop not in ("decided", "halted"):
@@ -227,6 +268,7 @@ def _run_runtime(scenario: Scenario, check: bool) -> RunResult:
         allow_excess_faults=scenario.allow_excess_faults,
         netem=scenario.netem_config(),
         batching=scenario.batching,
+        observer=observer,
     )
 
 

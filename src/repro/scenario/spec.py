@@ -32,6 +32,7 @@ from ..analysis.experiments import normalize_proposals
 from ..baselines.harness import DEFAULT_COIN
 from ..errors import ConfigError
 from ..netem import NetemConfig
+from ..obs import OBSERVE_MODES, parse_observe
 from ..params import ProtocolParams, for_system
 from ..sim.effects import BATCHING_MODES, parse_batching
 from ..sim.scheduler import (
@@ -278,6 +279,11 @@ class Scenario:
             On the ``sim`` fabric the knob selects eager vs per-step
             outbox draining, which is provably order-identical: a fixed
             seed decides and traces bit-for-bit the same either way.
+        observe: structured-event capture — ``off`` (default, no
+            observer), ``ring``/``ring:N`` (in-memory ring buffer of the
+            newest N events, attached to ``meta["obs_events"]``), or
+            ``jsonl``/``jsonl:PATH`` (JSONL trace file readable by
+            ``repro report``); see docs/observability.md.
         stop: ``decided`` | ``halted`` | ``quiescent`` (sim only).
         max_steps / timeout: liveness budget (sim steps / runtime seconds).
         host, base_port: TCP fabric placement (0 = pick free ports).
@@ -298,6 +304,7 @@ class Scenario:
     fabric: str = "sim"
     instances: int = 1
     batching: str = "off"
+    observe: str = "off"
     seed: int = 0
     stop: str = "decided"
     max_steps: int = 2_000_000
@@ -326,6 +333,7 @@ class Scenario:
         if self.instances < 1:
             raise ConfigError(f"need at least one instance, got {self.instances}")
         parse_batching(self.batching)  # validates off | flush | size:N
+        parse_observe(self.observe)  # validates off | ring[:N] | jsonl[:PATH]
         if self.instances > 1 and self.protocol not in ("bracha", "benor"):
             raise ConfigError(
                 f"multiple instances are not supported for {self.protocol!r}"
@@ -507,6 +515,7 @@ __all__ = [
     "BATCHING_MODES",
     "COINS",
     "FABRICS",
+    "OBSERVE_MODES",
     "SCHEDULERS",
     "STOPS",
     "Scenario",

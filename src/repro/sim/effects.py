@@ -30,7 +30,7 @@ proves this for every protocol).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Tuple, Union
+from typing import Any, List, Optional, Tuple, Union
 
 from ..errors import ConfigError
 from ..types import ProcessId
@@ -73,9 +73,18 @@ class Note:
 
 @dataclass(frozen=True)
 class Decide:
-    """A terminal protocol output, surfaced to the hosting driver."""
+    """A terminal protocol output, surfaced to the hosting driver.
+
+    ``module`` names the deciding protocol instance and ``round`` the
+    round the decision fell in, when the protocol tracks one — the
+    observability layer turns these into ``decide`` events and
+    per-instance decision-latency histograms without the host polling
+    module state.
+    """
 
     value: Any
+    module: Optional[str] = None
+    round: Optional[int] = None
 
 
 Effect = Union[Send, Broadcast, Note, Decide]

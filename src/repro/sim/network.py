@@ -70,6 +70,9 @@ class Network:
         self.trace = trace
         self.processes: Dict[ProcessId, Deliverable] = {}
         self.outbound_filter: Optional[Callable[[Envelope], bool]] = None
+        #: Optional structured-event hub (:class:`repro.obs.Observer`).
+        #: One ``is not None`` check per send/deliver when disabled.
+        self.observer: Optional[Any] = None
         self._uid = 0
         self._now_fn: Callable[[], float] = lambda: 0.0
         self._on_send: Optional[Callable[[Envelope], None]] = None
@@ -87,6 +90,8 @@ class Network:
 
     def trace_note(self, pid: Optional[ProcessId], detail: Any) -> None:
         self.trace.note(self.now(), pid, detail)
+        if self.observer is not None:
+            self.observer.emit("note", node=pid, detail=detail, time=self.now())
 
     # -- registry ---------------------------------------------------------
 
@@ -125,6 +130,8 @@ class Network:
         self.pending.add(env)
         self.metrics.record_send(source, payload)
         self.trace.send(env.send_time, env)
+        if self.observer is not None:
+            self.observer.message("send", source, payload, time=env.send_time)
         if self._on_send is not None:
             self._on_send(env)
 
@@ -133,6 +140,8 @@ class Network:
         self.pending.remove(env)
         self.metrics.record_delivery(env.dest, env.payload)
         self.trace.deliver(time, env)
+        if self.observer is not None:
+            self.observer.message("deliver", env.dest, env.payload, time=time)
         target = self.processes.get(env.dest)
         if target is not None:
             target.deliver(env.source, env.payload)

@@ -77,14 +77,16 @@ class Context:
         """
         self._process.enqueue(Broadcast((self.module_id, payload)))
 
-    def decide(self, value: Any) -> None:
+    def decide(self, value: Any, round: Optional[int] = None) -> None:
         """Surface a terminal output to the hosting driver (optional).
 
         The classic modules expose decisions as attributes + upcall
-        events; this effect is the forward-looking channel for engines
-        that report outputs without the host polling their state.
+        events; this effect is the channel for drivers and the
+        observability layer to learn of outputs without polling module
+        state.  The effect carries the deciding module's id and, when
+        given, the decision round.
         """
-        self._process.enqueue(Decide(value))
+        self._process.enqueue(Decide(value, module=self.module_id, round=round))
 
     def rng(self, *names: object) -> random.Random:
         """This process's private randomness stream (e.g. its local coin)."""
@@ -162,7 +164,7 @@ class Process:
         self.halted = False
         self.eager = eager
         self.outbox = Outbox()
-        self.on_decide: Optional[Callable[[Any], None]] = None
+        self.on_decide: Optional[Callable[[Decide], None]] = None
         self._depth = 0
         if register:
             network.register(self)
@@ -214,8 +216,10 @@ class Process:
         elif type(effect) is Note:
             self.network.trace_note(self.pid, effect.detail)
         elif type(effect) is Decide:
+            # The hook receives the full effect (value + module + round);
+            # without a hook the decision still lands in the trace.
             if self.on_decide is not None:
-                self.on_decide(effect.value)
+                self.on_decide(effect)
             else:
                 self.network.trace_note(self.pid, ("decide", effect.value))
         else:

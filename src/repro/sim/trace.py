@@ -30,12 +30,18 @@ class TraceRecord:
 
 
 class Trace:
-    """Append-only event log with optional size cap."""
+    """Append-only event log with optional size cap.
+
+    Records past ``max_records`` are not retained, but they are *counted*:
+    ``dropped`` says how many, and :meth:`render` / :meth:`snapshot`
+    surface it, so a capped trace can never silently pose as complete.
+    """
 
     def __init__(self, enabled: bool = True, max_records: int = 1_000_000):
         self.enabled = enabled
         self.max_records = max_records
         self.records: list[TraceRecord] = []
+        self.dropped = 0
         self._step = 0
 
     def advance_step(self) -> None:
@@ -44,6 +50,8 @@ class Trace:
     def _append(self, record: TraceRecord) -> None:
         if len(self.records) < self.max_records:
             self.records.append(record)
+        else:
+            self.dropped += 1
 
     def send(self, time: float, env: Envelope) -> None:
         if self.enabled:
@@ -80,7 +88,20 @@ class Trace:
         records: Iterable[TraceRecord] = self.records
         if limit is not None:
             records = self.records[-limit:]
-        return "\n".join(rec.render() for rec in records)
+        body = "\n".join(rec.render() for rec in records)
+        if self.dropped:
+            notice = f"[trace truncated: {self.dropped} record(s) dropped past max_records={self.max_records}]"
+            body = f"{body}\n{notice}" if body else notice
+        return body
+
+    def snapshot(self) -> dict:
+        """Accounting summary: what the trace retained vs. dropped."""
+        return {
+            "records": len(self.records),
+            "dropped": self.dropped,
+            "max_records": self.max_records,
+            "enabled": self.enabled,
+        }
 
     def __len__(self) -> int:
         return len(self.records)

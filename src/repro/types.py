@@ -116,6 +116,9 @@ class RunResult:
         halted: pids of correct processes that halted outright.
         violations: safety violations detected (harness-dependent).
         meta: free-form per-run data (coin flips, per-type counts, ...).
+        metrics: typed metrics snapshot
+            (:class:`repro.obs.MetricsSnapshot`) when the collecting
+            harness built one; ``None`` otherwise.
     """
 
     decisions: dict = field(default_factory=dict)
@@ -127,6 +130,7 @@ class RunResult:
     halted: set = field(default_factory=set)
     violations: list = field(default_factory=list)
     meta: dict = field(default_factory=dict)
+    metrics: Any = None
 
     @property
     def decided_values(self) -> set:

@@ -1,0 +1,117 @@
+"""Metrics snapshots end to end: fabrics, back-compat meta, grids, CLI.
+
+The registry is the source of truth for run accounting; this module
+pins the integration contracts:
+
+* every fabric attaches a :class:`MetricsSnapshot` to ``RunResult``;
+* the historical ``meta[...]`` keys the runtime cluster used to carry
+  are a back-compat mirror of the registry for one release;
+* ring-mode observation lands events on ``meta["obs_events"]``;
+* the grid METRICS read the snapshot; and the capped simulator trace
+  surfaces its ``dropped`` count instead of posing as complete.
+"""
+
+import pytest
+
+from repro.obs import MetricsSnapshot
+from repro.scenario import Scenario, ScenarioGrid, run
+from repro.sim.trace import Trace
+from repro.types import Envelope
+
+
+@pytest.mark.parametrize("fabric", ["sim", "local", "tcp"])
+def test_every_fabric_attaches_a_metrics_snapshot(fabric):
+    result = run(Scenario(protocol="bracha", n=4, proposals=1, seed=5,
+                          fabric=fabric))
+    snap = result.metrics
+    assert isinstance(snap, MetricsSnapshot)
+    assert snap.counter("decisions") == 4
+    assert snap.counter("messages_sent") == result.messages_sent
+    latency = snap.histogram("decision_latency")
+    assert latency["count"] == 4
+    assert 0.0 <= latency["p50"] <= latency["max"]
+
+
+def test_cluster_meta_keys_mirror_the_registry():
+    result = run(Scenario(
+        protocol="bracha", n=4, instances=4, proposals=1, fabric="local",
+        batching="flush", seed=29,
+    ))
+    snap = result.metrics
+    # The deprecated ad-hoc keys must equal the typed counters exactly
+    # while the back-compat mirror is in place.
+    assert result.meta["frames_sent"] == snap.counter("frames_sent")
+    assert result.meta["wire_messages_sent"] == snap.counter(
+        "wire_messages_sent"
+    )
+    assert result.meta["messages_per_frame"] == pytest.approx(
+        snap.gauges["messages_per_frame"]
+    )
+    assert result.messages_sent == snap.counter("messages_sent")
+    assert result.messages_delivered == snap.counter("messages_delivered")
+    assert snap.counter("module_decisions") == 4 * 4  # instances × nodes
+
+
+def test_netem_totals_mirror_registry_counters():
+    result = run(Scenario(
+        protocol="bracha", n=4, proposals=1, fabric="local", seed=37,
+        link={"loss": 0.15, "rto": 0.02}, timeout=120.0,
+    ))
+    netem = result.meta["netem"]
+    snap = result.metrics
+    assert netem["dropped"] > 0
+    for name in ("frames", "dropped", "retransmitted"):
+        assert snap.counter(f"netem_{name}") == netem[name]
+
+
+def test_ring_mode_retains_events_on_the_result():
+    result = run(Scenario(protocol="bracha", n=4, proposals=1, seed=5,
+                          observe="ring:500"))
+    summary = result.meta["obs"]
+    assert summary["sink"] == "ring"
+    events = result.meta["obs_events"]
+    assert events
+    assert len(events) == summary["retained"]
+    assert summary["events"] >= summary["retained"]
+    assert any(e.kind == "decide" for e in events)
+
+
+def test_observe_off_attaches_no_observability_meta():
+    result = run(Scenario(protocol="bracha", n=4, proposals=1, seed=5))
+    assert "obs" not in result.meta
+    assert "obs_events" not in result.meta
+    assert result.metrics is not None  # metrics are always on
+
+
+def test_grid_metrics_read_the_snapshot():
+    grid = ScenarioGrid(
+        Scenario(protocol="bracha", proposals=1), trials=2, seed=11
+    )
+    grid.add("n", [4])
+    sweep = grid.run()
+    cell = sweep.cell(n=4)
+    assert cell.metric("decisions").mean == 4.0
+    p95 = cell.metric("decision_latency_p95").mean
+    maximum = cell.metric("decision_latency_max").mean
+    assert 0.0 <= p95 <= maximum
+    assert "decisions" in sweep.table(metric="decisions")
+
+
+def test_capped_trace_surfaces_dropped_records():
+    trace = Trace(max_records=2)
+    for i in range(5):
+        trace.send(float(i), Envelope(uid=i, source=0, dest=1, payload=i,
+                                      send_time=float(i)))
+    assert len(trace.records) == 2
+    assert trace.dropped == 3
+    snapshot = trace.snapshot()
+    assert snapshot["dropped"] == 3
+    assert snapshot["records"] == 2
+    assert "3 record(s) dropped" in trace.render()
+
+
+def test_uncapped_trace_render_has_no_truncation_banner():
+    trace = Trace()
+    trace.note(0.0, 0, ("hello",))
+    assert trace.dropped == 0
+    assert "dropped" not in trace.render()

@@ -1,0 +1,127 @@
+"""Trace determinism: the same run yields the same event stream.
+
+Two guarantees, held per ``docs/observability.md``:
+
+* **Replay determinism** — re-running a fixed-seed simulator scenario
+  with a JSONL sink produces a byte-identical trace file: virtual time,
+  event order, and payload renderings are all functions of the seed.
+* **Cross-fabric logical agreement** — for each protocol, the *logical*
+  decide stream (node, instance, decided value — time stripped) is
+  identical between the simulator and the asyncio-local runtime for a
+  fixed-seed unanimous configuration, and within every fabric all nodes
+  agree per instance.  Batching (``off`` vs ``flush``) must not change
+  the logical decide stream either.
+"""
+
+import pytest
+
+from repro.obs import load_events
+from repro.scenario import Scenario, run
+
+#: Unanimous fixed-seed configurations: strong validity pins the decided
+#: value, so the decide stream is fabric-independent by construction.
+UNANIMOUS = {
+    "bracha": Scenario(protocol="bracha", n=4, proposals=1, seed=9),
+    "benor": Scenario(protocol="benor", n=4, proposals=1, seed=9),
+    "benor-crash": Scenario(protocol="benor-crash", n=5, t=2, proposals=1,
+                            seed=9),
+    "mmr14": Scenario(protocol="mmr14", n=4, coin="dealer", proposals=1,
+                      seed=9),
+}
+
+
+def _trace(scenario, path, **overrides):
+    result = run(scenario.replace(observe=f"jsonl:{path}", **overrides))
+    return result, load_events(path)
+
+
+def _logical_decides(events):
+    """Sorted (node, instance, value) triples of the decide events."""
+    return sorted(
+        (e.node, e.instance, e.detail) for e in events if e.kind == "decide"
+    )
+
+
+def test_sim_jsonl_trace_is_byte_identical_across_reruns(tmp_path):
+    scenario = Scenario(protocol="bracha", n=4, proposals=1, seed=21)
+    paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+    for path in paths:
+        run(scenario.replace(observe=f"jsonl:{path}"))
+    first, second = (p.read_bytes() for p in paths)
+    assert first == second
+    assert first, "the trace must not be empty"
+
+
+def test_sim_jsonl_trace_is_byte_identical_off_vs_flush(tmp_path):
+    """On the simulator the batching knob is order-identical, so the
+    whole event stream — timestamps included — must match bytewise."""
+    scenario = Scenario(protocol="bracha", n=4, instances=2, proposals=1,
+                        seed=21)
+    traces = {}
+    for mode in ("off", "flush"):
+        path = tmp_path / f"{mode}.jsonl"
+        run(scenario.replace(observe=f"jsonl:{path}", batching=mode))
+        traces[mode] = path.read_bytes()
+    assert traces["off"] == traces["flush"]
+    assert traces["off"], "the trace must not be empty"
+
+
+@pytest.mark.parametrize("protocol", sorted(UNANIMOUS))
+def test_logical_decide_stream_matches_sim_vs_local(protocol, tmp_path):
+    scenario = UNANIMOUS[protocol]
+    _r1, sim_events = _trace(scenario, tmp_path / "sim.jsonl", fabric="sim")
+    _r2, local_events = _trace(scenario, tmp_path / "local.jsonl",
+                               fabric="local")
+    sim_decides = _logical_decides(sim_events)
+    local_decides = _logical_decides(local_events)
+    assert sim_decides, f"{protocol} emitted no decide events on sim"
+    assert sim_decides == local_decides
+    # Unanimity: every decide carries the proposed value.
+    assert {value for _n, _i, value in sim_decides} == {1}
+
+
+def test_acs_decide_stream_agrees_per_instance_on_both_fabrics(tmp_path):
+    scenario = Scenario(protocol="acs", n=4, seed=2)
+    for fabric in ("sim", "local"):
+        _result, events = _trace(
+            scenario, tmp_path / f"{fabric}.jsonl", fabric=fabric
+        )
+        by_instance = {}
+        for event in events:
+            if event.kind == "decide":
+                by_instance.setdefault(event.instance, set()).add(event.detail)
+        assert by_instance, f"acs emitted no decide events on {fabric}"
+        for instance, values in by_instance.items():
+            assert len(values) == 1, (
+                f"{fabric}: ABA {instance} decided {values}"
+            )
+
+
+def test_batching_does_not_change_the_logical_decide_stream(tmp_path):
+    scenario = Scenario(
+        protocol="bracha", n=4, instances=4, proposals=1, fabric="local",
+        seed=29,
+    )
+    _r_off, off_events = _trace(scenario, tmp_path / "off.jsonl",
+                                batching="off")
+    _r_flush, flush_events = _trace(scenario, tmp_path / "flush.jsonl",
+                                    batching="flush")
+    assert _logical_decides(off_events) == _logical_decides(flush_events)
+    # Batching does change the wire: fewer frames carrying more messages.
+    off_frames = sum(1 for e in off_events if e.kind == "frame")
+    flush_frames = sum(1 for e in flush_events if e.kind == "frame")
+    assert 0 < flush_frames < off_frames
+
+
+@pytest.mark.parametrize("fabric", ["sim", "local", "tcp"])
+def test_observe_jsonl_works_on_every_fabric(fabric, tmp_path):
+    scenario = Scenario(protocol="bracha", n=4, proposals=1, seed=3)
+    result, events = _trace(scenario, tmp_path / "t.jsonl", fabric=fabric)
+    kinds = {e.kind for e in events}
+    assert {"send", "deliver", "decide"} <= kinds
+    if fabric != "sim":
+        assert "frame" in kinds  # the runtime pump flushed wire frames
+    decides = [e for e in events if e.kind == "decide"]
+    assert len(decides) == scenario.n
+    assert result.meta["obs"]["sink"] == "jsonl"
+    assert result.meta["obs"]["events"] == len(events)

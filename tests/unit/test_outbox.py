@@ -121,8 +121,10 @@ class TestFlushBoundaries:
         module = process.add_module(Echoer())
         decided = []
         process.on_decide = decided.append
-        module.ctx.decide(1)
-        assert decided == [1]
+        module.ctx.decide(1, round=3)
+        assert len(decided) == 1
+        effect = decided[0]
+        assert (effect.value, effect.module, effect.round) == (1, "echo", 3)
 
 
 class TestParseBatching:
