@@ -50,9 +50,10 @@ def test_r3_batched_vs_unbatched(benchmark, table_sink, bench_sink, smoke):
                     ms, result = _timed(lambda: run(scenario))
                     assert result.decided_values == {1}
                     total_ms += ms
-                    frames += result.meta["frames_sent"]
-                    messages += result.meta["wire_messages_sent"]
-                    mpf += result.meta["messages_per_frame"]
+                    snap = result.metrics
+                    frames += snap.counter("frames_sent")
+                    messages += snap.counter("wire_messages_sent")
+                    mpf += snap.gauges["messages_per_frame"]
                 rows.append([
                     fabric, mode, round(total_ms / trials, 2),
                     messages // trials, frames // trials,

@@ -49,7 +49,7 @@ def main() -> None:
           f"{local.virtual_time * 1000:.1f} ms wall time")
 
     tcp = run(scenario, fabric="tcp")
-    rejected = tcp.meta.get("frames_rejected", 0)
+    rejected = tcp.metrics.counter("frames_rejected")
     print(f"tcp (MACs): decision {sorted(tcp.decided_values)}, "
           f"{tcp.messages_sent} messages, "
           f"{tcp.virtual_time * 1000:.1f} ms wall time, "

@@ -15,6 +15,10 @@ Subcommands:
   faults, coins, and adversarial schedulers (discrete-event simulator).
 * ``run-net`` — the same protocols executed concurrently on the asyncio
   runtime, over in-process queues or authenticated TCP on localhost.
+* ``dealer`` — materialise a scenario's trusted setup (MAC keys, coin
+  shares) into per-node bundle files plus a run manifest.
+* ``node`` — run one consensus node as one OS process from a dealt
+  bundle (the ``mp`` fabric's per-process entry point).
 * ``broadcast`` — one reliable-broadcast instance (optionally with an
   equivocating sender).
 * ``attack`` — the scripted Ben-Or disagreement attack across seeds.
@@ -73,7 +77,8 @@ from . import run_broadcast
 
 def _print_result(scenario: Scenario, result: Any) -> None:
     params = scenario.params
-    print(f"scenario  : {scenario.name or '<inline>'} (fabric: {scenario.fabric})")
+    print(f"scenario  : {scenario.name or '<inline>'} "
+          f"(fabric: {scenario.fabric}, seed: {scenario.seed})")
     print(f"system    : {params.describe()}")
     print(f"protocol  : {scenario.protocol} (coin: {scenario.coin_name}, "
           f"instances: {scenario.instances})")
@@ -94,12 +99,15 @@ def _print_result(scenario: Scenario, result: Any) -> None:
         print(f"rounds    : {result.rounds} (decided in {result.decision_round()})")
     print(f"messages  : {result.messages_sent} sent, "
           f"{result.messages_delivered} delivered")
-    if result.meta.get("frames_sent"):
-        print(f"frames    : {result.meta['frames_sent']} wire frames, "
-              f"{result.meta['messages_per_frame']:.2f} messages/frame "
+    snapshot = result.metrics
+    if snapshot is not None and snapshot.counter("frames_sent"):
+        print(f"frames    : {snapshot.counter('frames_sent')} wire frames, "
+              f"{snapshot.gauges.get('messages_per_frame', 0.0):.2f} "
+              f"messages/frame "
               f"(batching: {result.meta.get('batching', 'off')})")
-    if "frames_rejected" in result.meta:
-        print(f"rejected  : {result.meta['frames_rejected']} unauthenticated frames")
+    if snapshot is not None and snapshot.counter("frames_rejected"):
+        print(f"rejected  : {snapshot.counter('frames_rejected')} "
+              f"unauthenticated frames")
     netem = result.meta.get("netem")
     if netem:
         print(f"link      : {netem['dropped']} dropped, {netem['delayed']} delayed, "
@@ -185,9 +193,14 @@ def cmd_run(args: argparse.Namespace) -> int:
                 print(f"FAIL  {label}: {exc}")
             else:
                 fabric = overrides.get("fabric", scenario.fabric)
-                print(f"ok    {label} [{fabric}] {_check_summary(result)}")
+                seed = overrides.get("seed", scenario.seed)
+                print(f"ok    {label} [{fabric}] seed={seed} "
+                      f"{_check_summary(result)}")
         else:
             if overrides:
+                # replace() validates the overrides (a bad --seed or
+                # --fabric fails here, before anything runs) and makes
+                # _print_result echo the effective values.
                 scenario = scenario.replace(**overrides)
             result = run_scenario(scenario)
             _print_result(scenario, result)
@@ -252,6 +265,48 @@ def cmd_run_net(args: argparse.Namespace) -> int:
     )
     _print_result(scenario, run_scenario(scenario))
     return 0
+
+
+def cmd_dealer(args: argparse.Namespace) -> int:
+    from .mp.bundle import deal, load_manifest
+
+    if args.name:
+        scenario = get_scenario(args.name)
+    elif args.scenario:
+        scenario = load_scenario(args.scenario)
+    else:
+        raise ReproError("nothing to deal: give a scenario file or --name")
+    overrides = {"fabric": "mp"}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.host is not None:
+        overrides["host"] = args.host
+    scenario = scenario.replace(**overrides)
+    manifest_path, bundles = deal(
+        scenario, args.out, base_port=args.base_port
+    )
+    manifest = load_manifest(manifest_path)
+    print(f"run       : {manifest.run_id}")
+    print(f"scenario  : {scenario.name or '<inline>'} "
+          f"(n={scenario.n}, coin: {scenario.coin_name}, "
+          f"seed: {scenario.seed})")
+    print(f"manifest  : {manifest_path}")
+    for pid in sorted(bundles):
+        host, port = manifest.addresses[pid]
+        print(f"  node {pid} : {bundles[pid]}  ({host}:{port})")
+    print("start each node with: repro node --manifest "
+          f"{manifest_path} --bundle <its bundle>")
+    return 0
+
+
+def cmd_node(args: argparse.Namespace) -> int:
+    from .mp import noderunner
+
+    import asyncio
+
+    return asyncio.run(noderunner.run_node(
+        args.manifest, args.bundle, control=args.control, linger=args.linger,
+    ))
 
 
 def cmd_broadcast(args: argparse.Namespace) -> int:
@@ -399,8 +454,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_net.add_argument("--t", type=int, default=None,
                          help="fault bound (default ⌊(n−1)/3⌋)")
     run_net.add_argument("--protocol", choices=list(PROTOCOLS), default="bracha")
-    run_net.add_argument("--transport", choices=["local", "tcp"], default="local",
-                         help="in-process asyncio queues or JSON-over-TCP with MACs")
+    run_net.add_argument("--transport", choices=["local", "tcp", "mp"],
+                         default="local",
+                         help="in-process asyncio queues, JSON-over-TCP with "
+                              "MACs, or one OS process per node (mp)")
     run_net.add_argument("--coin", choices=["local", "dealer", "shares"], default=None)
     run_net.add_argument("--proposals", default=None,
                          help="'0'/'1' for unanimity or an n-bit string like 0110")
@@ -426,6 +483,39 @@ def build_parser() -> argparse.ArgumentParser:
     run_net.add_argument("--timeout", type=float, default=60.0,
                          help="liveness deadline in seconds")
     run_net.set_defaults(func=cmd_run_net)
+
+    dealer = sub.add_parser(
+        "dealer",
+        help="materialise a scenario's trusted setup into per-node bundles",
+    )
+    dealer.add_argument("scenario", nargs="?", metavar="FILE",
+                        help="scenario JSON file")
+    dealer.add_argument("--name", default=None, metavar="NAME",
+                        help="catalog scenario name (see `repro catalog`)")
+    dealer.add_argument("--out", required=True, metavar="DIR",
+                        help="output directory for manifest + bundles")
+    dealer.add_argument("--seed", type=int, default=None,
+                        help="override the scenario's seed")
+    dealer.add_argument("--host", default=None,
+                        help="override the scenario's listen host")
+    dealer.add_argument("--base-port", type=int, default=None,
+                        help="first node port (defaults to the scenario's "
+                             "base_port; must be positive to deal)")
+    dealer.set_defaults(func=cmd_dealer)
+
+    node = sub.add_parser(
+        "node",
+        help="run one consensus node (one OS process) from a dealt bundle",
+    )
+    node.add_argument("--manifest", required=True, help="manifest.json path")
+    node.add_argument("--bundle", required=True, help="node-<pid>.json path")
+    node.add_argument("--control", default=None, metavar="HOST:PORT",
+                      help="orchestrator control endpoint (omit to run "
+                           "standalone)")
+    node.add_argument("--linger", type=float, default=5.0,
+                      help="standalone: seconds to keep serving peers after "
+                           "deciding")
+    node.set_defaults(func=cmd_node)
 
     attack = sub.add_parser("attack", help="scripted Ben-Or disagreement attack")
     attack.add_argument("--trials", type=int, default=12)

@@ -1,0 +1,42 @@
+"""The multi-process fabric: one OS process per node, dealt setup.
+
+Three pieces (see docs/deployment.md):
+
+* :mod:`repro.mp.bundle` — the ``repro dealer`` bootstrap: per-node
+  JSON bundles (pairwise MAC keys, coin seeds, dealer shares) plus a
+  shared run manifest (addresses, scenario hash);
+* :mod:`repro.mp.noderunner` — the ``repro node`` entry point: one
+  :class:`~repro.runtime.node.Node` over
+  :class:`~repro.runtime.tcp.TcpTransport` per process;
+* :mod:`repro.mp.orchestrator` — makes ``fabric: "mp"`` a first-class
+  :class:`~repro.scenario.Scenario` value: spawns the subprocesses,
+  barriers them, SIGKILLs the ones a ``kill`` fault condemns, and
+  assembles the same verified :class:`~repro.types.RunResult` the other
+  fabrics return.
+"""
+
+from .bundle import (
+    BundleKeyRing,
+    NodeBundle,
+    RunManifest,
+    SHARE_HORIZON,
+    deal,
+    load_bundle,
+    load_manifest,
+    scenario_hash,
+)
+from .orchestrator import MpOrchestrator, run_mp, run_mp_sync
+
+__all__ = [
+    "BundleKeyRing",
+    "MpOrchestrator",
+    "NodeBundle",
+    "RunManifest",
+    "SHARE_HORIZON",
+    "deal",
+    "load_bundle",
+    "load_manifest",
+    "run_mp",
+    "run_mp_sync",
+    "scenario_hash",
+]

@@ -1,0 +1,408 @@
+"""One node, one OS process: the ``repro node`` entry point.
+
+The runner is the per-process analogue of what
+:class:`~repro.runtime.cluster.Cluster` assembles n times in one
+interpreter — and it is deliberately the *same* stack: a
+:class:`~repro.stacks.ProtocolPlan`-built engine on a
+:class:`~repro.runtime.node.Node` pump, over
+:class:`~repro.runtime.tcp.TcpTransport` (netem
+:class:`~repro.netem.LinkPolicy` and
+:class:`~repro.netem.ReliableLink` included, when the scenario declares
+them).  Nothing protocol-side knows it left the single-process world.
+
+Lifecycle:
+
+1. read the manifest and this node's bundle; **validate** the bundle
+   against the manifest (scenario hash, MAC-key coverage, coin-seed
+   derivation, dealer shares) — mismatched setup refuses to boot;
+2. bind the TCP listener at the manifest-assigned address;
+3. connect the control channel, say ``hello``, and wait for ``go``
+   (the orchestrator's start barrier);
+4. dial every peer, start the pump, propose;
+5. on deciding (or halting, per the scenario's stop condition) send
+   ``done``; on ``stop`` send the full ``result`` readout and exit.
+
+Without a control endpoint the runner is standalone (manual multi-host
+operation): it proposes as soon as its peers are dialled, prints the
+``result`` JSON to stdout when its stop condition holds, lingers a
+grace period so slower peers can still read from it, and exits.
+
+Determinism note: every node seeds its :class:`NodeNetwork` and
+:class:`LinkPolicy` from the scenario seed exactly as the in-process
+cluster does.  Link-policy randomness is streamed per directed link, so
+n per-process policy instances agree with one shared instance — each
+node only consults the streams of its own outbound links.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from ..errors import ReproError
+from ..netem import LinkPolicy, ReliableLink, WallClock
+from ..obs import Observer
+from ..obs.observer import DEFAULT_RING_CAPACITY, parse_observe
+from ..obs.sinks import RingSink
+from ..runtime.node import Node, NodeNetwork
+from ..runtime.tcp import TcpTransport
+from ..sim.process import Process
+from ..stacks import ProtocolPlan, build_plan_behavior
+from .bundle import NodeBundle, RunManifest, load_bundle, load_manifest
+from .control import MAX_CONTROL_LINE, parse_endpoint, read_msg, send_msg
+
+#: How long a node retries dialling peers that are still booting.
+CONNECT_RETRY = 15.0
+
+
+class NodeRunner:
+    """Assembles and drives one node process end to end."""
+
+    def __init__(self, manifest: RunManifest, bundle: NodeBundle):
+        bundle.validate(manifest)
+        self.manifest = manifest
+        self.bundle = bundle
+        self.scenario = manifest.scenario
+        self.pid = bundle.node
+        self.params = self.scenario.params
+        self.plan = ProtocolPlan(
+            self.scenario.protocol, self.params, self.scenario.coin_name,
+            self.scenario.seed, self.scenario.instances,
+        )
+        self.proposals = self.plan.default_proposals(self.scenario.proposals)
+        faults = self.scenario.faults_dict()
+        spec = faults.get(self.pid)
+        kind = spec if isinstance(spec, str) else (spec or {}).get("kind")
+        # A 'kill' fault is the orchestrator's job (SIGKILL mid-run);
+        # until the signal lands this node is simply honest — which is
+        # exactly what a real crash fault means.
+        self.fault_spec = None if kind == "kill" else spec
+        self.network = NodeNetwork(self.pid, self.params, seed=self.scenario.seed)
+        self.observer: Optional[Observer] = None
+        mode, arg = parse_observe(self.scenario.observe)
+        if mode != "off":
+            # Node-side capture is always an in-memory ring; the
+            # orchestrator owns the run's real sink and replays the
+            # shipped events into it.
+            capacity = arg if mode == "ring" else DEFAULT_RING_CAPACITY
+            self.observer = Observer(RingSink(capacity))
+            self.network.observer = self.observer
+
+        self.modules: Optional[List[Any]] = None
+        self.node: Optional[Node] = None
+        self.transport: Any = None
+        self._tcp: Optional[TcpTransport] = None
+        self._policy: Optional[LinkPolicy] = None
+        self._clock: Optional[WallClock] = None
+        self._zero = time.monotonic()
+        self._decide_time: Optional[float] = None
+        self._stopped = asyncio.Event()
+        self._satisfied = asyncio.Event()  # the scenario's stop predicate
+
+    # -- assembly ------------------------------------------------------------
+
+    async def bind(self) -> None:
+        """Start the listener at the manifest-assigned address."""
+        netem = self.scenario.netem_config()
+        if netem is not None:
+            self._clock = WallClock()
+            self._policy = LinkPolicy(
+                self.params.n, netem, seed=self.scenario.seed,
+                observer=self.observer,
+            )
+        host, port = self.manifest.addresses[self.pid]
+        self._tcp = TcpTransport(
+            self.pid, self.params.n, self.bundle.keyring(self.params.n),
+            host=host, port=port, policy=self._policy, clock=self._clock,
+        )
+        await self._tcp.start()
+
+    async def connect(self) -> None:
+        """Dial every peer (retrying while they boot) and build the node."""
+        netem = self.scenario.netem_config()
+        self._tcp.set_peers(self.manifest.addresses)
+        await self._tcp.connect(retry_for=CONNECT_RETRY)
+        if self._clock is not None:
+            self._clock.start()
+        self.transport = self._tcp
+        if netem is not None and netem.retransmit:
+            policy, src = self._policy, self.pid
+            self.transport = ReliableLink(
+                self._tcp, self._clock,
+                rto=netem.rto, max_retries=netem.max_retries,
+                severed=lambda dest, now: policy.severed(src, dest, now),
+                observer=self.observer,
+            )
+            self.transport.start_scan()
+
+        if self.fault_spec is not None:
+            target: Any = build_plan_behavior(
+                self.pid, self.fault_spec, self.network, self.params,
+                self.plan, self.proposals,
+            )
+        else:
+            process = Process(self.pid, self.network, self.params)  # type: ignore[arg-type]
+            process.on_decide = self._on_decide
+            self.modules = self.plan.build(process)
+            target = process
+        self.node = Node(
+            self.pid, self.network, self.transport, target,
+            on_activation=self._on_activation,
+            batching=self.scenario.batching,
+        )
+
+    def start_clock(self) -> None:
+        """Zero the run timeline (called at the ``go`` barrier)."""
+        self._zero = time.monotonic()
+        if self.observer is not None:
+            self.observer.bind_clock(lambda: time.monotonic() - self._zero)
+
+    def propose(self) -> None:
+        if self.modules is not None:
+            modules, pid, bit = self.modules, self.pid, self.proposals[self.pid]
+            self.node.queue_action(
+                lambda: self.plan.propose(modules, pid, bit)
+            )
+
+    # -- progress ------------------------------------------------------------
+
+    def _on_decide(self, effect: Any) -> None:
+        if self._decide_time is None:
+            self._decide_time = time.monotonic() - self._zero
+        if self.observer is not None:
+            self.observer.emit(
+                "decide", node=self.pid, instance=effect.module,
+                round=effect.round, detail=effect.value,
+            )
+
+    def _on_activation(self, _node: Node) -> None:
+        if self.modules is None or self._satisfied.is_set():
+            return
+        check = (
+            self.plan.halted if self.scenario.stop == "halted"
+            else self.plan.decided
+        )
+        if check(self.modules):
+            self._satisfied.set()
+
+    # -- readout -------------------------------------------------------------
+
+    def result_payload(self) -> Dict[str, Any]:
+        """Everything the orchestrator needs to assemble a ``RunResult``."""
+        node, network = self.node, self.network
+        out: Dict[str, Any] = {
+            "type": "result",
+            "node": self.pid,
+            "correct": self.modules is not None,
+            "decide_time": self._decide_time,
+            "counters": {
+                "sent": network.metrics.sent,
+                "delivered": node.messages_delivered,
+                "activations": node.activations,
+                "frames_sent": node.frames_sent,
+                "wire_messages_sent": node.wire_messages_sent,
+                "rejected": self._tcp.rejected,
+            },
+            "sent_by_kind": dict(network.metrics.sent_by_kind),
+            "decisions": None,
+            "acs": None,
+            "invariant_flags": [],
+            "halted": False,
+            "rounds": 0,
+            "coin_flips": 0,
+        }
+        if self.modules is not None:
+            if self.scenario.protocol == "acs":
+                acs = self.modules[0]
+                if acs.done:
+                    out["acs"] = {
+                        "proposals": [list(pair) for pair in acs.output.proposals]
+                    }
+            else:
+                out["decisions"] = [
+                    {
+                        "decided": m.decided,
+                        "value": m.decision,
+                        "round": m.decision_round,
+                    }
+                    for m in self.modules
+                ]
+                out["invariant_flags"] = [
+                    list(m.invariant_flags) for m in self.modules
+                ]
+                out["halted"] = self.plan.halted(self.modules)
+                out["rounds"] = max(m.stats["rounds"] for m in self.modules)
+                out["coin_flips"] = sum(
+                    m.stats["coin_flips"] for m in self.modules
+                )
+        if self._policy is not None:
+            out["netem"] = self._policy.totals().as_dict()
+            out["netem_per_link"] = self._policy.per_link()
+        if isinstance(self.transport, ReliableLink):
+            link = self.transport
+            out["link"] = {
+                "retransmitted": link.retransmitted,
+                "abandoned": link.abandoned,
+                "duplicates_filtered": link.duplicates_filtered,
+                "acks_sent": link.acks_sent,
+                "retransmitted_by_dest": {
+                    str(dest): count
+                    for dest, count in link.retransmitted_by_dest.items()
+                },
+            }
+        if self.observer is not None:
+            out["events"] = [e.to_dict() for e in self.observer.events()]
+        return out
+
+    async def shutdown(self, task: Optional[asyncio.Task]) -> None:
+        if self.transport is not None:
+            await self.transport.close()
+        elif self._tcp is not None:
+            await self._tcp.close()
+        if self._clock is not None:
+            await self._clock.close()
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+async def run_node(
+    manifest_path: str,
+    bundle_path: str,
+    control: Optional[str] = None,
+    linger: float = 5.0,
+) -> int:
+    runner = NodeRunner(load_manifest(manifest_path), load_bundle(bundle_path))
+    if control is None:
+        return await _run_standalone(runner, linger)
+    return await _run_controlled(runner, control)
+
+
+async def _run_controlled(runner: NodeRunner, control: str) -> int:
+    host, port = parse_endpoint(control)
+    send_lock = asyncio.Lock()
+    task: Optional[asyncio.Task] = None
+    writer: Optional[asyncio.StreamWriter] = None
+    try:
+        await runner.bind()
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_CONTROL_LINE
+        )
+        async with send_lock:
+            await send_msg(writer, {"type": "hello", "node": runner.pid})
+        message = await read_msg(reader)
+        if message is None or message.get("type") != "go":
+            raise ReproError(
+                f"node {runner.pid}: expected 'go', got {message!r}"
+            )
+        await runner.connect()
+        runner.start_clock()
+        runner.propose()
+        task = asyncio.ensure_future(runner.node.run())
+
+        async def report_done() -> None:
+            await runner._satisfied.wait()
+            async with send_lock:
+                await send_msg(writer, {
+                    "type": "done", "node": runner.pid,
+                    "decide_time": runner._decide_time,
+                })
+
+        done_task = asyncio.ensure_future(report_done())
+        try:
+            while True:
+                message = await read_msg(reader)
+                if message is None or message.get("type") == "stop":
+                    break
+        finally:
+            done_task.cancel()
+            await asyncio.gather(done_task, return_exceptions=True)
+        if message is not None:  # a real 'stop', not an orphaning EOF
+            async with send_lock:
+                await send_msg(writer, runner.result_payload())
+        return 0
+    except Exception as exc:
+        if writer is not None:
+            try:
+                async with send_lock:
+                    await send_msg(writer, {
+                        "type": "crash", "node": runner.pid,
+                        "error": repr(exc),
+                    })
+            except Exception:
+                pass
+        raise
+    finally:
+        if writer is not None:
+            writer.close()
+        await runner.shutdown(task)
+
+
+async def _run_standalone(runner: NodeRunner, linger: float) -> int:
+    import json as _json
+
+    await runner.bind()
+    host, port = runner._tcp.address
+    print(f"node {runner.pid} listening on {host}:{port}", file=sys.stderr)
+    await runner.connect()
+    runner.start_clock()
+    runner.propose()
+    task = asyncio.ensure_future(runner.node.run())
+    try:
+        timeout = runner.scenario.timeout
+        try:
+            await asyncio.wait_for(runner._satisfied.wait(), timeout)
+        except asyncio.TimeoutError:
+            print(f"node {runner.pid}: timeout after {timeout}s",
+                  file=sys.stderr)
+            return 1
+        # Keep serving peers that are still catching up before exiting.
+        await asyncio.sleep(linger)
+        payload = runner.result_payload()
+        payload.pop("events", None)  # stdout stays human-sized
+        print(_json.dumps(payload, sort_keys=True))
+        return 0
+    finally:
+        await runner.shutdown(task)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro node",
+        description="run one consensus node (one OS process) from a dealt bundle",
+    )
+    parser.add_argument("--manifest", required=True, help="manifest.json path")
+    parser.add_argument("--bundle", required=True, help="node-<pid>.json path")
+    parser.add_argument("--control", default=None, metavar="HOST:PORT",
+                        help="orchestrator control endpoint (omit for "
+                             "standalone operation)")
+    parser.add_argument("--linger", type=float, default=5.0,
+                        help="standalone: seconds to keep serving peers "
+                             "after deciding")
+    args = parser.parse_args(argv)
+    try:
+        return asyncio.run(run_node(
+            args.manifest, args.bundle, control=args.control,
+            linger=args.linger,
+        ))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
+
+
+__all__ = ["NodeRunner", "main", "run_node"]

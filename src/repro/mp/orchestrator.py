@@ -1,0 +1,542 @@
+"""The ``mp`` fabric: n nodes, n OS processes, one ``RunResult``.
+
+The orchestrator is the multi-process analogue of
+:class:`~repro.runtime.cluster.Cluster`: it deals trusted-setup bundles
+into a scratch directory (:mod:`repro.mp.bundle`), spawns one
+``repro node`` subprocess per pid, holds them at a start barrier on the
+control channel (:mod:`repro.mp.control`), waits for every correct
+node's stop condition, then collects each node's reported readout and
+assembles the same verified :class:`~repro.types.RunResult` — metrics
+snapshot, observe stream, netem totals — the other fabrics return.
+
+Because every node is a real OS process, crash faults become real: a
+fault spec ``{"kind": "kill", "after": S}`` makes the orchestrator
+SIGKILL that node's process ``S`` seconds after the start barrier, and
+the run succeeds iff the surviving correct majority still decides.
+
+Verification runs over the *reported* outcomes of correct nodes only
+(the same trust boundary the in-process cluster has: a Byzantine node's
+modules are never consulted), through the identical
+:func:`~repro.analysis.experiments.verify_outcome` /
+:func:`verify_acs_outcome` checks every other fabric uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import shutil
+import socket
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..analysis.experiments import (
+    fill_common_meta,
+    verify_acs_outcome,
+    verify_instance_outcomes,
+    verify_outcome,
+)
+from ..app.acs import AcsOutput
+from ..errors import ConfigError, LivenessFailure, ReproError
+from ..obs import MetricsRegistry, Observer
+from ..obs.events import Event
+from ..scenario.spec import Scenario
+from ..stacks import ProtocolPlan
+from ..types import Decision, ProcessId, RunResult
+from .bundle import deal
+from .control import MAX_CONTROL_LINE, read_msg, send_msg
+
+#: How long the orchestrator waits for every node to bind and say hello.
+BOOT_TIMEOUT = 30.0
+
+#: Grace period for nodes to answer ``stop`` with their result.
+RESULT_TIMEOUT = 10.0
+
+
+class _Reported:
+    """A decision-module shim over one reported instance outcome, shaped
+    for :func:`verify_outcome` (``decided``/``decision``/
+    ``decision_round``/``invariant_flags``)."""
+
+    def __init__(self, decided: bool, value: Any, round_: Any,
+                 flags: List[str]):
+        self.decided = decided
+        self.decision = value
+        self.decision_round = round_
+        self.invariant_flags = list(flags)
+
+
+def _reserve_ports(host: str, n: int) -> List[int]:
+    """Pick n distinct free ports by binding them all at once.
+
+    The sockets close before the node processes bind, so this is
+    best-effort (the standard race); simultaneous reservation at least
+    guarantees the n ports are distinct and free *now*.
+    """
+    sockets, ports = [], []
+    try:
+        for _ in range(n):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, 0))
+            sockets.append(sock)
+            ports.append(sock.getsockname()[1])
+    finally:
+        for sock in sockets:
+            sock.close()
+    return ports
+
+
+def _child_env() -> Dict[str, str]:
+    """The subprocess environment, with this repro package importable."""
+    import repro
+
+    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        pkg_root + os.pathsep + existing if existing else pkg_root
+    )
+    return env
+
+
+class MpOrchestrator:
+    """One multi-process run, start to verified result."""
+
+    def __init__(self, scenario: Scenario, check: bool = True,
+                 observer: Optional[Observer] = None):
+        if scenario.fabric != "mp":
+            raise ConfigError(
+                f"the mp orchestrator runs fabric 'mp' scenarios, "
+                f"got {scenario.fabric!r}"
+            )
+        if scenario.stop not in ("decided", "halted"):
+            raise ConfigError(
+                f"stop condition {scenario.stop!r} is not available on 'mp'"
+            )
+        self.scenario = scenario
+        self.check = check
+        self.observer = observer
+        self.params = scenario.params
+        # Validates the protocol/coin/instances combination up front and
+        # supplies the canonical proposal table; the coins themselves
+        # are built (identically) inside each node process.
+        self.plan = ProtocolPlan(
+            scenario.protocol, self.params, scenario.coin_name,
+            scenario.seed, scenario.instances,
+        )
+        self.proposals = self.plan.default_proposals(scenario.proposals)
+        faults = scenario.faults_dict()
+        self.kills: Dict[ProcessId, float] = {}
+        for pid, spec in faults.items():
+            kind = spec if isinstance(spec, str) else spec.get("kind")
+            if kind == "kill":
+                after = 0.0 if isinstance(spec, str) else spec.get("after", 0.0)
+                self.kills[pid] = float(after)
+        self.faulty: Set[ProcessId] = set(faults)
+        self.correct: Set[ProcessId] = set(range(scenario.n)) - self.faulty
+
+        self.procs: Dict[ProcessId, asyncio.subprocess.Process] = {}
+        self.writers: Dict[ProcessId, asyncio.StreamWriter] = {}
+        self.results: Dict[ProcessId, Dict[str, Any]] = {}
+        self.done: Dict[ProcessId, Optional[float]] = {}
+        self.crashes: Dict[ProcessId, str] = {}
+        self.unexpected_exits: Dict[ProcessId, int] = {}
+        self._result_events: Dict[ProcessId, asyncio.Event] = {}
+        self._wake = asyncio.Event()
+        self._hello = asyncio.Event()
+        self._stopping = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._tasks: List[asyncio.Task] = []
+        self._zero = 0.0
+
+    # -- control-channel server ----------------------------------------------
+
+    async def _serve(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            message = await read_msg(reader)
+        except ReproError:
+            writer.close()
+            return
+        if message is None or message.get("type") != "hello":
+            writer.close()
+            return
+        pid = message.get("node")
+        if not isinstance(pid, int) or not 0 <= pid < self.scenario.n:
+            writer.close()
+            return
+        self.writers[pid] = writer
+        if len(self.writers) == self.scenario.n:
+            self._hello.set()
+        while True:
+            try:
+                message = await read_msg(reader)
+            except ReproError as exc:
+                self.crashes.setdefault(pid, f"bad control message: {exc}")
+                break
+            if message is None:
+                break
+            kind = message.get("type")
+            if kind == "done":
+                self.done[pid] = message.get("decide_time")
+            elif kind == "result":
+                self.results[pid] = message
+                self._result_events.setdefault(pid, asyncio.Event()).set()
+            elif kind == "crash":
+                self.crashes[pid] = str(message.get("error", "unknown"))
+            self._wake.set()
+        self._wake.set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def run(self) -> RunResult:
+        scenario = self.scenario
+        bundle_dir = tempfile.mkdtemp(prefix="repro-mp-")
+        try:
+            if scenario.base_port > 0:
+                ports = [scenario.base_port + pid for pid in range(scenario.n)]
+            else:
+                ports = _reserve_ports(scenario.host, scenario.n)
+            addresses = {
+                pid: (scenario.host, ports[pid]) for pid in range(scenario.n)
+            }
+            manifest_path, bundle_paths = deal(
+                scenario, bundle_dir, addresses=addresses
+            )
+
+            self._server = await asyncio.start_server(
+                self._serve, scenario.host, 0, limit=MAX_CONTROL_LINE
+            )
+            chost, cport = self._server.sockets[0].getsockname()[:2]
+            env = _child_env()
+            for pid in range(scenario.n):
+                self.procs[pid] = await asyncio.create_subprocess_exec(
+                    sys.executable, "-m", "repro", "node",
+                    "--manifest", manifest_path,
+                    "--bundle", bundle_paths[pid],
+                    "--control", f"{chost}:{cport}",
+                    stdout=asyncio.subprocess.DEVNULL,
+                    stderr=asyncio.subprocess.PIPE,
+                    env=env,
+                )
+                self._tasks.append(
+                    asyncio.ensure_future(self._monitor(pid, self.procs[pid]))
+                )
+
+            try:
+                await asyncio.wait_for(self._hello.wait(), BOOT_TIMEOUT)
+            except asyncio.TimeoutError:
+                missing = sorted(set(range(scenario.n)) - set(self.writers))
+                raise ReproError(
+                    f"mp boot failed: nodes {missing} never reported in "
+                    f"({await self._stderr_tail(missing)})"
+                ) from None
+
+            self._zero = time.monotonic()
+            for writer in self.writers.values():
+                await send_msg(writer, {"type": "go"})
+            for pid, after in self.kills.items():
+                self._tasks.append(
+                    asyncio.ensure_future(self._kill_later(pid, after))
+                )
+
+            timed_out = not await self._wait_for_completion()
+            elapsed = time.monotonic() - self._zero
+            await self._stop_nodes()
+            result = self._collect(elapsed, timed_out)
+            self._verify(result, timed_out)
+            return result
+        finally:
+            await self._teardown()
+            shutil.rmtree(bundle_dir, ignore_errors=True)
+
+    async def _monitor(self, pid: ProcessId,
+                       proc: asyncio.subprocess.Process) -> None:
+        rc = await proc.wait()
+        if not self._stopping and pid not in self.kills:
+            self.unexpected_exits[pid] = rc
+        self._wake.set()
+
+    async def _kill_later(self, pid: ProcessId, after: float) -> None:
+        await asyncio.sleep(after)
+        proc = self.procs.get(pid)
+        if proc is not None and proc.returncode is None:
+            proc.kill()
+
+    async def _wait_for_completion(self) -> bool:
+        """Until every correct node reported ``done``; False on timeout."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.scenario.timeout
+        while not self.correct <= set(self.done):
+            self._raise_on_casualties()
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return False
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(self._wake.wait(), remaining)
+            except asyncio.TimeoutError:
+                return False
+        self._raise_on_casualties()
+        return True
+
+    def _raise_on_casualties(self) -> None:
+        """A *correct* node dying is a harness failure, never a result."""
+        for pid in sorted(self.crashes):
+            if pid in self.correct:
+                raise ReproError(
+                    f"node {pid} crashed: {self.crashes[pid]}"
+                )
+        for pid, rc in sorted(self.unexpected_exits.items()):
+            if pid in self.correct and pid not in self.results:
+                raise ReproError(
+                    f"node {pid} exited unexpectedly (rc={rc})"
+                )
+
+    async def _stop_nodes(self) -> None:
+        self._stopping = True
+        live = [
+            pid for pid, proc in self.procs.items() if proc.returncode is None
+        ]
+        for pid in live:
+            writer = self.writers.get(pid)
+            if writer is None or writer.is_closing():
+                continue
+            self._result_events.setdefault(pid, asyncio.Event())
+            try:
+                await send_msg(writer, {"type": "stop"})
+            except (ConnectionError, OSError):
+                continue
+        waiters = [
+            self._result_events[pid].wait()
+            for pid in live if pid in self._result_events
+        ]
+        if waiters:
+            await asyncio.wait(
+                [asyncio.ensure_future(w) for w in waiters],
+                timeout=RESULT_TIMEOUT,
+            )
+
+    async def _stderr_tail(self, pids: List[ProcessId]) -> str:
+        parts = []
+        for pid in pids:
+            proc = self.procs.get(pid)
+            if proc is None:
+                continue
+            if proc.returncode is None:
+                proc.kill()
+            try:
+                _out, err = await asyncio.wait_for(proc.communicate(), 5.0)
+            except (asyncio.TimeoutError, ProcessLookupError, ValueError):
+                continue
+            if err:
+                tail = err.decode("utf-8", "replace").strip().splitlines()[-3:]
+                parts.append(f"node {pid}: " + " | ".join(tail))
+        return "; ".join(parts) or "no stderr captured"
+
+    async def _teardown(self) -> None:
+        self._stopping = True
+        for proc in self.procs.values():
+            if proc.returncode is None:
+                proc.kill()
+        for proc in self.procs.values():
+            try:
+                await asyncio.wait_for(proc.communicate(), 5.0)
+            except (asyncio.TimeoutError, ProcessLookupError, ValueError):
+                pass
+        for writer in self.writers.values():
+            writer.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    # -- result assembly -----------------------------------------------------
+
+    def _collect(self, elapsed: float, timed_out: bool) -> RunResult:
+        scenario = self.scenario
+        result = RunResult(virtual_time=elapsed)
+        registry = MetricsRegistry()
+        sent_by_kind: Dict[str, int] = {}
+        frames_sent = wire_messages = frames_rejected = 0
+        module_decisions = coin_flips = 0
+        decision_times: Dict[ProcessId, float] = {}
+        netem_totals: Dict[str, Any] = {}
+        netem_per_link: Dict[str, Dict[str, int]] = {}
+        instance_decisions: Dict[ProcessId, List[Any]] = {}
+        events: List[Event] = []
+
+        for pid, report in sorted(self.results.items()):
+            counters = report.get("counters", {})
+            result.messages_sent += counters.get("sent", 0)
+            result.messages_delivered += counters.get("delivered", 0)
+            result.steps += counters.get("activations", 0)
+            frames_sent += counters.get("frames_sent", 0)
+            wire_messages += counters.get("wire_messages_sent", 0)
+            frames_rejected += counters.get("rejected", 0)
+            for kind, count in report.get("sent_by_kind", {}).items():
+                sent_by_kind[kind] = sent_by_kind.get(kind, 0) + count
+            for name, value in (report.get("netem") or {}).items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    netem_totals[name] = netem_totals.get(name, 0) + value
+            for link_name, stats in (report.get("netem_per_link") or {}).items():
+                slot = netem_per_link.setdefault(link_name, {})
+                for name, value in stats.items():
+                    slot[name] = slot.get(name, 0) + value
+            link = report.get("link")
+            if link is not None:
+                for name in ("retransmitted", "abandoned",
+                             "duplicates_filtered", "acks_sent"):
+                    netem_totals[name] = (
+                        netem_totals.get(name, 0) + link.get(name, 0)
+                    )
+                for dest, count in link.get(
+                        "retransmitted_by_dest", {}).items():
+                    slot = netem_per_link.setdefault(f"{pid}->{dest}", {})
+                    slot["retransmitted"] = (
+                        slot.get("retransmitted", 0) + count
+                    )
+            for data in report.get("events", ()):
+                events.append(Event.from_dict(data))
+
+            if not report.get("correct"):
+                continue
+            coin_flips += report.get("coin_flips", 0)
+            decide_time = report.get("decide_time")
+            if decide_time is not None:
+                decision_times[pid] = float(decide_time)
+            if scenario.protocol == "acs":
+                acs = report.get("acs")
+                if acs is not None:
+                    output = AcsOutput(0, tuple(
+                        (int(p), payload) for p, payload in acs["proposals"]
+                    ))
+                    result.decisions[pid] = Decision(
+                        pid, output.pids, 0, decision_times.get(pid, elapsed)
+                    )
+                continue
+            decisions = report.get("decisions") or []
+            if decisions and decisions[0]["decided"]:
+                result.decisions[pid] = Decision(
+                    pid, decisions[0]["value"], decisions[0]["round"],
+                    decision_times.get(pid, elapsed),
+                )
+            instance_decisions[pid] = [d["value"] for d in decisions]
+            module_decisions += sum(1 for d in decisions if d["decided"])
+            if report.get("halted"):
+                result.halted.add(pid)
+            result.rounds = max(result.rounds, report.get("rounds", 0))
+
+        if timed_out:
+            result.violations.append("timeout (possible livelock)")
+        result.meta["transport"] = "mp"
+        result.meta["protocol"] = scenario.protocol
+        result.meta["instances"] = scenario.instances
+        result.meta["batching"] = scenario.batching
+        result.meta["coin_flips"] = coin_flips
+        fill_common_meta(result, self.proposals, self.faulty, sent_by_kind)
+        result.meta["decision_latency"] = dict(decision_times)
+        if self.kills:
+            result.meta["killed"] = sorted(self.kills)
+        if scenario.instances > 1:
+            result.meta["instance_decisions"] = instance_decisions
+
+        registry.count("frames_sent", frames_sent)
+        registry.count("wire_messages_sent", wire_messages)
+        registry.count("frames_rejected", frames_rejected)
+        registry.count("messages_sent", result.messages_sent)
+        registry.count("messages_delivered", result.messages_delivered)
+        registry.count("decisions", len(result.decisions))
+        registry.count("module_decisions", module_decisions)
+        registry.gauge(
+            "messages_per_frame",
+            wire_messages / frames_sent if frames_sent else 0.0,
+        )
+        for latency in decision_times.values():
+            registry.observe("decision_latency", latency)
+        if scenario.netem_config() is not None:
+            for name, value in netem_totals.items():
+                registry.count(f"netem_{name}", int(value))
+            result.meta["netem"] = netem_totals
+            result.meta["netem_per_link"] = netem_per_link
+        result.metrics = registry.snapshot()
+
+        if self.observer is not None and events:
+            # Replay the per-node streams into the run's sink on one
+            # merged timeline (original node-relative timestamps).
+            events.sort(key=lambda e: (e.time, -1 if e.node is None else e.node))
+            for event in events:
+                self.observer.sink.emit(event)
+        return result
+
+    def _verify(self, result: RunResult, timed_out: bool) -> None:
+        scenario, check = self.scenario, self.check
+        if timed_out and check:
+            missing = sorted(self.correct - set(self.done))
+            raise LivenessFailure(
+                f"timeout after {scenario.timeout}s; "
+                f"nodes still undecided: {missing}"
+            )
+        reported = {
+            pid: report for pid, report in self.results.items()
+            if pid in self.correct
+        }
+        if scenario.protocol == "acs":
+            outputs = {
+                pid: AcsOutput(0, tuple(
+                    (int(p), payload)
+                    for p, payload in report["acs"]["proposals"]
+                ))
+                for pid, report in reported.items()
+                if report.get("acs") is not None
+            }
+            verify_acs_outcome(outputs, self.params, result, check=check)
+            missing = sorted(self.correct - set(outputs))
+            if missing and not timed_out:
+                message = f"ACS never completed at: {missing}"
+                result.violations.append(message)
+                if check:
+                    raise LivenessFailure(message)
+            return
+        stacks = {
+            pid: [
+                _Reported(d["decided"], d["value"], d["round"], flags)
+                for d, flags in zip(
+                    report.get("decisions") or [],
+                    report.get("invariant_flags") or [],
+                )
+            ]
+            for pid, report in reported.items()
+        }
+        stacks = {pid: mods for pid, mods in stacks.items() if mods}
+        verify_outcome(
+            self.proposals,
+            {pid: mods[0] for pid, mods in stacks.items()},
+            result,
+            check=check,
+        )
+        if scenario.instances > 1:
+            verify_instance_outcomes(
+                self.proposals, stacks, scenario.instances, result,
+                check=check,
+            )
+
+
+async def run_mp(scenario: Scenario, check: bool = True,
+                 observer: Optional[Observer] = None) -> RunResult:
+    """Execute one ``fabric: "mp"`` scenario; return a verified result."""
+    return await MpOrchestrator(scenario, check=check, observer=observer).run()
+
+
+def run_mp_sync(scenario: Scenario, check: bool = True,
+                observer: Optional[Observer] = None) -> RunResult:
+    """Blocking wrapper around :func:`run_mp` (scenario runner, CLI)."""
+    return asyncio.run(run_mp(scenario, check=check, observer=observer))
+
+
+__all__ = ["BOOT_TIMEOUT", "MpOrchestrator", "run_mp", "run_mp_sync"]

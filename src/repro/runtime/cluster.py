@@ -416,9 +416,9 @@ class Cluster:
         result.meta["instances"] = self.instances
         result.meta["batching"] = self.batching
 
-        # The typed accounting lives on the registry; the historical
-        # meta keys below are kept for one release as a back-compat
-        # mirror of the same numbers (tests pin this equivalence).
+        # Framing/wire accounting lives on the metrics registry only;
+        # read it via ``result.metrics`` (the back-compat meta mirror
+        # was removed after one release).
         registry = self.registry
         registry.count("frames_sent", frames_sent)
         registry.count("wire_messages_sent", wire_messages)
@@ -432,11 +432,6 @@ class Cluster:
         for latency in self._decision_times.values():
             registry.observe("decision_latency", latency)
 
-        result.meta["frames_sent"] = frames_sent
-        result.meta["wire_messages_sent"] = wire_messages
-        result.meta["messages_per_frame"] = (
-            wire_messages / frames_sent if frames_sent else 0.0
-        )
         fill_common_meta(result, self.proposals, self.behaviors, sent_by_kind)
         result.meta["decision_latency"] = dict(self._decision_times)
         if self.instances > 1:
@@ -446,7 +441,6 @@ class Cluster:
                 getattr(t, "rejected", 0) for t in self.transports.values()
             )
             registry.count("frames_rejected", frames_rejected)
-            result.meta["frames_rejected"] = frames_rejected
         if self._policy is not None:
             self._collect_netem(result)
         result.metrics = registry.snapshot()

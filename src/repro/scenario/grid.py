@@ -48,8 +48,13 @@ METRICS = {
     "steps": lambda r: float(r.steps),
     "virtual_time": lambda r: float(r.virtual_time),
     "coin_flips": lambda r: float(r.meta.get("coin_flips", 0)),
-    "frames_sent": lambda r: float(r.meta.get("frames_sent", 0)),
-    "messages_per_frame": lambda r: float(r.meta.get("messages_per_frame", 0.0)),
+    "frames_sent": lambda r: float(
+        r.metrics.counter("frames_sent") if r.metrics is not None else 0
+    ),
+    "messages_per_frame": lambda r: float(
+        r.metrics.gauges.get("messages_per_frame", 0.0)
+        if r.metrics is not None else 0.0
+    ),
     "netem_frames": lambda r: float(r.meta.get("netem", {}).get("frames", 0)),
     "netem_dropped": lambda r: float(r.meta.get("netem", {}).get("dropped", 0)),
     "netem_delayed": lambda r: float(r.meta.get("netem", {}).get("delayed", 0)),

@@ -7,7 +7,9 @@ fabric it names:
 * ``sim`` — the deterministic discrete-event simulator, with the
   scenario's scheduler as the network adversary;
 * ``local`` — the asyncio runtime over in-process queues;
-* ``tcp`` — the asyncio runtime over authenticated JSON-over-TCP.
+* ``tcp`` — the asyncio runtime over authenticated JSON-over-TCP;
+* ``mp`` — one OS process per node over the same TCP transport,
+  bootstrapped by a trusted-setup dealer (:mod:`repro.mp`).
 
 All three build their per-process stacks through the same
 :class:`~repro.stacks.ProtocolPlan` and funnel their outcomes through
@@ -56,6 +58,8 @@ def run(scenario: Scenario, check: bool = True, **overrides: Any) -> RunResult:
     try:
         if scenario.fabric == "sim":
             result = _run_sim(scenario, check, observer)
+        elif scenario.fabric == "mp":
+            result = _run_mp(scenario, check, observer)
         else:
             result = _run_runtime(scenario, check, observer)
     finally:
@@ -270,6 +274,19 @@ def _run_runtime(
         batching=scenario.batching,
         observer=observer,
     )
+
+
+# ---------------------------------------------------------------------------
+# mp fabric (one OS process per node)
+# ---------------------------------------------------------------------------
+
+
+def _run_mp(
+    scenario: Scenario, check: bool, observer: Optional[Observer] = None
+) -> RunResult:
+    from ..mp.orchestrator import run_mp_sync
+
+    return run_mp_sync(scenario, check=check, observer=observer)
 
 
 __all__ = ["repeat", "run"]

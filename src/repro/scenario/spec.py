@@ -43,7 +43,7 @@ from ..sim.scheduler import (
 )
 from ..stacks import PROTOCOLS
 
-FABRICS = ("sim", "local", "tcp")
+FABRICS = ("sim", "local", "tcp", "mp")
 STOPS = ("decided", "halted", "quiescent")
 COINS = ("local", "dealer", "shares")
 
@@ -270,8 +270,10 @@ class Scenario:
             (``retransmit``, ``rto``, ``max_retries``); see docs/netem.md.
         partitions: scripted partition windows for the runtime fabrics —
             a list of ``{"start", "stop", "groups"}`` mappings.
-        fabric: ``sim`` (discrete-event), ``local`` (asyncio queues), or
-            ``tcp`` (authenticated JSON-over-TCP).
+        fabric: ``sim`` (discrete-event), ``local`` (asyncio queues),
+            ``tcp`` (authenticated JSON-over-TCP, one interpreter), or
+            ``mp`` (one OS process per node over the same TCP transport,
+            bootstrapped by a dealer bundle — see docs/deployment.md).
         instances: parallel consensus instances per process (batching).
         batching: wire-frame coalescing — ``off`` (one frame per
             message), ``flush`` (one frame per destination per pump
@@ -332,6 +334,11 @@ class Scenario:
             )
         if self.instances < 1:
             raise ConfigError(f"need at least one instance, got {self.instances}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) \
+                or self.seed < 0:
+            raise ConfigError(
+                f"seed must be a non-negative integer, got {self.seed!r}"
+            )
         parse_batching(self.batching)  # validates off | flush | size:N
         parse_observe(self.observe)  # validates off | ring[:N] | jsonl[:PATH]
         if self.instances > 1 and self.protocol not in ("bracha", "benor"):
@@ -358,9 +365,26 @@ class Scenario:
                 self, "proposals", _canonical_proposals(self.proposals, self.n)
             )
 
-        for pid, _spec in self.faults:
+        for pid, spec in self.faults:
             if not 0 <= pid < self.n:
                 raise ConfigError(f"fault pid {pid} out of range")
+            table = dict(spec)
+            if table["kind"] == "kill":
+                # The real-crash fault: the orchestrator SIGKILLs the
+                # node's OS process mid-run.  Only the mp fabric has a
+                # process to kill; in-interpreter fabrics model crashes
+                # with the 'crash' behavior instead.
+                if self.fabric != "mp":
+                    raise ConfigError(
+                        "fault kind 'kill' (SIGKILL the node's OS process) "
+                        "needs the 'mp' fabric; use kind 'crash' on "
+                        f"{self.fabric!r}"
+                    )
+                after = table.get("after", 0.0)
+                if not isinstance(after, (int, float)) or after < 0:
+                    raise ConfigError(
+                        f"kill fault needs 'after' >= 0 seconds, got {after!r}"
+                    )
         if len(self.faults) > params.t and not self.allow_excess_faults:
             raise ConfigError(
                 f"{len(self.faults)} faults injected but t={params.t}; "
@@ -386,8 +410,9 @@ class Scenario:
         if self.fabric == "sim" and (self.link or self.partitions):
             raise ConfigError(
                 "'link' / 'partitions' model real-transport conditions and "
-                "need the 'local' or 'tcp' fabric; on the 'sim' fabric use "
-                "a scheduler (e.g. scheduler='delay' or scheduler='partition')"
+                "need the 'local', 'tcp', or 'mp' fabric; on the 'sim' "
+                "fabric use a scheduler (e.g. scheduler='delay' or "
+                "scheduler='partition')"
             )
         self.netem_config()  # validates link fields and partition windows
         if self.fabric != "sim" and self.stop == "quiescent":

@@ -44,6 +44,27 @@ PROTOCOLS = ("bracha", "benor", "benor-crash", "mmr14", "acs")
 StackBuilder = Callable[[Process], List[Any]]
 
 
+def instance_coin_seed(seed: int, index: int) -> int:
+    """The derived seed of consensus instance ``index``'s coin scheme.
+
+    One rule, used both when a plan builds its coins in-process and when
+    the multi-process dealer (:mod:`repro.mp.bundle`) materialises the
+    same setup into per-node bundle files — a node can therefore check a
+    bundle's coin material against the scenario it claims to serve.
+    """
+    return derive_seed(seed, "inst-coin", index)
+
+
+def coin_seeds(protocol: str, seed: int, instances: int, n: int) -> tuple:
+    """Every instance-coin seed a plan derives, in instance order.
+
+    ACS runs one ABA (hence one coin scheme) per node; the other
+    protocols run one per parallel instance.
+    """
+    count = n if protocol == "acs" else instances
+    return tuple(instance_coin_seed(seed, i) for i in range(count))
+
+
 def instance_coin(
     coin: Union[str, CoinScheme], n: int, t: int, seed: int, index: int
 ) -> CoinScheme:
@@ -59,7 +80,7 @@ def instance_coin(
         return coin
     if coin == "local":
         return LocalCoin(salt=("inst", index)) if index else LocalCoin()
-    return make_coin(coin, n, t, derive_seed(seed, "inst-coin", index))
+    return make_coin(coin, n, t, instance_coin_seed(seed, index))
 
 
 class ProtocolPlan:
@@ -222,5 +243,7 @@ __all__ = [
     "ProtocolPlan",
     "StackBuilder",
     "build_plan_behavior",
+    "coin_seeds",
     "instance_coin",
+    "instance_coin_seed",
 ]

@@ -1,11 +1,11 @@
-"""Metrics snapshots end to end: fabrics, back-compat meta, grids, CLI.
+"""Metrics snapshots end to end: fabrics, grids, CLI.
 
 The registry is the source of truth for run accounting; this module
 pins the integration contracts:
 
 * every fabric attaches a :class:`MetricsSnapshot` to ``RunResult``;
-* the historical ``meta[...]`` keys the runtime cluster used to carry
-  are a back-compat mirror of the registry for one release;
+* the framing counters live on the registry only — the historical
+  ``meta[...]`` mirror is gone;
 * ring-mode observation lands events on ``meta["obs_events"]``;
 * the grid METRICS read the snapshot; and the capped simulator trace
   surfaces its ``dropped`` count instead of posing as complete.
@@ -32,20 +32,21 @@ def test_every_fabric_attaches_a_metrics_snapshot(fabric):
     assert 0.0 <= latency["p50"] <= latency["max"]
 
 
-def test_cluster_meta_keys_mirror_the_registry():
+def test_framing_counters_live_on_the_registry_only():
     result = run(Scenario(
         protocol="bracha", n=4, instances=4, proposals=1, fabric="local",
         batching="flush", seed=29,
     ))
     snap = result.metrics
-    # The deprecated ad-hoc keys must equal the typed counters exactly
-    # while the back-compat mirror is in place.
-    assert result.meta["frames_sent"] == snap.counter("frames_sent")
-    assert result.meta["wire_messages_sent"] == snap.counter(
-        "wire_messages_sent"
-    )
-    assert result.meta["messages_per_frame"] == pytest.approx(
-        snap.gauges["messages_per_frame"]
+    # The PR 6 back-compat meta mirror is gone: framing numbers are read
+    # from the typed snapshot and nowhere else.
+    for key in ("frames_sent", "wire_messages_sent", "messages_per_frame",
+                "frames_rejected"):
+        assert key not in result.meta
+    assert snap.counter("frames_sent") > 0
+    assert snap.counter("wire_messages_sent") > snap.counter("frames_sent")
+    assert snap.gauges["messages_per_frame"] == pytest.approx(
+        snap.counter("wire_messages_sent") / snap.counter("frames_sent")
     )
     assert result.messages_sent == snap.counter("messages_sent")
     assert result.messages_delivered == snap.counter("messages_delivered")

@@ -59,30 +59,35 @@ class TestBatchedCluster:
         result = _batched_run(transport="local", batching="flush", seed=3)
         assert result.decided_values == {1}
         assert result.meta["batching"] == "flush"
-        frames = result.meta["frames_sent"]
-        messages = result.meta["wire_messages_sent"]
+        snap = result.metrics
+        frames = snap.counter("frames_sent")
+        messages = snap.counter("wire_messages_sent")
         assert 0 < frames < messages
-        assert result.meta["messages_per_frame"] == pytest.approx(
+        assert snap.gauges["messages_per_frame"] == pytest.approx(
             messages / frames
         )
 
     def test_unbatched_is_one_message_per_frame(self):
         result = _batched_run(transport="local", batching="off", seed=3)
-        assert result.meta["frames_sent"] == result.meta["wire_messages_sent"]
-        assert result.meta["messages_per_frame"] == 1.0
+        snap = result.metrics
+        assert snap.counter("frames_sent") == snap.counter("wire_messages_sent")
+        assert snap.gauges["messages_per_frame"] == 1.0
 
     def test_size_mode_caps_messages_per_frame(self):
         result = _batched_run(transport="local", batching="size:2", seed=5)
         assert result.decided_values == {1}
-        assert result.meta["messages_per_frame"] <= 2.0
-        assert result.meta["messages_per_frame"] > 1.0
+        assert result.metrics.gauges["messages_per_frame"] <= 2.0
+        assert result.metrics.gauges["messages_per_frame"] > 1.0
 
     def test_tcp_flush_decides_and_compresses(self):
         result = _batched_run(transport="tcp", batching="flush", seed=7)
         assert result.decided_values == {1}
         # The acceptance bound: >= 3x fewer TCP frames than messages on
         # the multi-instance Bracha pipeline.
-        assert result.meta["wire_messages_sent"] >= 3 * result.meta["frames_sent"]
+        snap = result.metrics
+        assert snap.counter("wire_messages_sent") >= 3 * snap.counter(
+            "frames_sent"
+        )
 
     def test_batched_with_byzantine_peer(self):
         result = _batched_run(
@@ -100,7 +105,7 @@ class TestBatchedCluster:
             link={"loss": 0.1, "delay": 0.001},
         )
         assert result.decided_values == {1}
-        assert result.meta["messages_per_frame"] > 1.0
+        assert result.metrics.gauges["messages_per_frame"] > 1.0
 
     def test_bad_batching_spec_rejected_up_front(self):
         with pytest.raises(ConfigError):

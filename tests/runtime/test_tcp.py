@@ -25,7 +25,7 @@ def test_tcp_loopback_consensus_n4_t1():
     )
     assert len(result.decided_values) == 1
     assert len(result.decisions) == 4
-    assert result.meta["frames_rejected"] == 0
+    assert result.metrics.counter("frames_rejected") == 0
     assert not result.violations
 
 

@@ -103,7 +103,7 @@ class TestRuntimeFabricsDecide:
         result = run(Scenario(protocol=protocol, fabric="tcp",
                               batching="flush", seed=19, **spec))
         assert len(result.decisions) >= 1
-        assert result.meta["frames_sent"] > 0
+        assert result.metrics.counter("frames_sent") > 0
 
 
 class TestSpecValidation:

@@ -142,6 +142,23 @@ class TestRunSubcommand:
         assert code == 0
         assert "[local]" in capsys.readouterr().out
 
+    def test_run_seed_override_is_echoed(self, capsys):
+        code = main([
+            "run", "--name", "unanimous-fast-path", "--seed", "77", "--check",
+        ])
+        assert code == 0
+        assert "seed=77" in capsys.readouterr().out
+
+    def test_run_seed_override_echoed_without_check(self, capsys):
+        assert main(["run", "--name", "unanimous-fast-path",
+                     "--seed", "78"]) == 0
+        assert "seed: 78" in capsys.readouterr().out
+
+    def test_run_bad_seed_fails_before_running(self, capsys):
+        assert main(["run", "--name", "unanimous-fast-path",
+                     "--seed", "-5"]) == 1
+        assert "seed" in capsys.readouterr().err
+
     def test_run_scenario_file(self, tmp_path, capsys):
         path = tmp_path / "s.json"
         path.write_text(json.dumps({
