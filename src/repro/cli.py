@@ -108,6 +108,22 @@ def _print_result(scenario: Scenario, result: Any) -> None:
     if snapshot is not None and snapshot.counter("frames_rejected"):
         print(f"rejected  : {snapshot.counter('frames_rejected')} "
               f"unauthenticated frames")
+    recovery = result.meta.get("recovery")
+    if recovery or result.meta.get("restarted"):
+        snapshot = result.metrics
+        restarts = snapshot.counter("restarts") if snapshot else 0
+        mode = (f"{recovery['mode']} ({recovery['dir']})" if recovery
+                else "in-memory replay")
+        line = f"recovery  : {mode}"
+        if restarts:
+            rt = (snapshot.gauges.get("recovery_time") or 0.0)
+            unit = "vt" if scenario.fabric == "sim" else "s"
+            line += (f"; {restarts} restart(s), "
+                     f"{snapshot.counter('recovery_replayed')} records "
+                     f"replayed, recovered in {rt:.2f}{unit}")
+        print(line)
+    if result.meta.get("scratch_dir"):
+        print(f"scratch   : kept at {result.meta['scratch_dir']}")
     netem = result.meta.get("netem")
     if netem:
         print(f"link      : {netem['dropped']} dropped, {netem['delayed']} delayed, "
@@ -187,7 +203,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         label = scenario.name or "<file>"
         if args.check:
             try:
-                result = run_scenario(scenario, **overrides)
+                result = run_scenario(
+                    scenario, keep_scratch=args.keep_scratch, **overrides
+                )
             except ReproError as exc:
                 failed += 1
                 print(f"FAIL  {label}: {exc}")
@@ -202,7 +220,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 # --fabric fails here, before anything runs) and makes
                 # _print_result echo the effective values.
                 scenario = scenario.replace(**overrides)
-            result = run_scenario(scenario)
+            result = run_scenario(scenario, keep_scratch=args.keep_scratch)
             _print_result(scenario, result)
             print()
     return 1 if failed else 0
@@ -304,8 +322,11 @@ def cmd_node(args: argparse.Namespace) -> int:
 
     import asyncio
 
+    if args.wal is not None and args.recover is not None:
+        raise ReproError("--wal and --recover are mutually exclusive")
     return asyncio.run(noderunner.run_node(
         args.manifest, args.bundle, control=args.control, linger=args.linger,
+        wal=args.wal, recover=args.recover, attempt=args.attempt,
     ))
 
 
@@ -414,6 +435,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "ring[:N], or jsonl[:PATH] (see `repro report`)")
     run_p.add_argument("--check", action="store_true",
                        help="terse ok/FAIL per scenario; exit 1 on any failure")
+    run_p.add_argument("--keep-scratch", action="store_true",
+                       help="mp fabric: keep the run's scratch directory "
+                            "(bundles, WALs, stderr context) for debugging")
     run_p.set_defaults(func=cmd_run)
 
     catalog_p = sub.add_parser("catalog", help="list the named scenario catalog")
@@ -515,6 +539,14 @@ def build_parser() -> argparse.ArgumentParser:
     node.add_argument("--linger", type=float, default=5.0,
                       help="standalone: seconds to keep serving peers after "
                            "deciding")
+    node.add_argument("--wal", default=None, metavar="FILE",
+                      help="write a crash-recovery WAL to FILE")
+    node.add_argument("--recover", default=None, metavar="FILE",
+                      help="boot by replaying the WAL at FILE (refuses a "
+                           "damaged or mismatched log), then keep appending")
+    node.add_argument("--attempt", type=int, default=0,
+                      help="restart attempt number (with --recover); selects "
+                           "the link-layer sequence epoch")
     node.set_defaults(func=cmd_node)
 
     attack = sub.add_parser("attack", help="scripted Ben-Or disagreement attack")

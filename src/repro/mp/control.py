@@ -5,14 +5,22 @@ band from the protocol's own authenticated links.  The vocabulary is
 deliberately tiny:
 
 node → orchestrator
-    ``hello``    the node is bound, connected, and ready to propose
-    ``done``     the node's stop predicate (decided/halted) holds
-    ``result``   the full readout, sent in answer to ``stop``
-    ``crash``    the node is dying; carries the error text
+    ``hello``     the node is bound, connected, and ready to propose;
+                  a WAL-recovered respawn adds ``recovered: true`` and
+                  its ``attempt`` number
+    ``done``      the node's stop predicate (decided/halted) holds
+    ``result``    the full readout, sent in answer to ``stop``
+    ``crash``     the node is dying; carries the error text
+    ``recovered`` WAL replay finished; carries ``replayed`` (record
+                  count) and ``replay_ms``
+    ``pong``      liveness probe answer, echoing the ping's ``seq``
 
 orchestrator → node
     ``go``       the start barrier: every node said hello, propose now
+                 (sent again, alone, to a recovered node's new hello —
+                 the re-barrier of one)
     ``stop``     report your result and exit
+    ``ping``     liveness probe; answer with ``pong`` carrying ``seq``
 
 The control channel is part of the *harness*, not the protocol: a real
 Byzantine node could lie on it, which is why the orchestrator's

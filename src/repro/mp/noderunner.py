@@ -44,6 +44,7 @@ from typing import Any, Dict, List, Optional
 
 from ..errors import ReproError
 from ..netem import LinkPolicy, ReliableLink, WallClock
+from ..recovery.wal import WalWriter, read_wal, replay, validate_header
 from ..obs import Observer
 from ..obs.observer import DEFAULT_RING_CAPACITY, parse_observe
 from ..obs.sinks import RingSink
@@ -61,13 +62,37 @@ CONNECT_RETRY = 15.0
 class NodeRunner:
     """Assembles and drives one node process end to end."""
 
-    def __init__(self, manifest: RunManifest, bundle: NodeBundle):
+    def __init__(self, manifest: RunManifest, bundle: NodeBundle,
+                 wal_path: Optional[str] = None, recover: bool = False,
+                 attempt: int = 0):
         bundle.validate(manifest)
         self.manifest = manifest
         self.bundle = bundle
         self.scenario = manifest.scenario
         self.pid = bundle.node
         self.params = self.scenario.params
+        self.wal_path = wal_path
+        self.recovering = recover
+        self.attempt = int(attempt)
+        self._wal_writer: Optional[WalWriter] = None
+        self._wal_records: Optional[List[Dict[str, Any]]] = None
+        self.replay_stats: Dict[str, Any] = {}
+        self._replayed = asyncio.Event()
+        if recover:
+            if wal_path is None:
+                raise ReproError("--recover needs the WAL path")
+            # Read + verify the log *now*: a damaged or mismatched WAL
+            # refuses the boot before the node ever says hello.
+            header, self._wal_records = read_wal(wal_path)
+            validate_header(
+                header,
+                run_id=manifest.run_id,
+                scenario_hash=manifest.digest,
+                node=self.pid,
+                seed=self.scenario.seed,
+                protocol=self.scenario.protocol,
+                instances=self.scenario.instances,
+            )
         self.plan = ProtocolPlan(
             self.scenario.protocol, self.params, self.scenario.coin_name,
             self.scenario.seed, self.scenario.instances,
@@ -76,10 +101,11 @@ class NodeRunner:
         faults = self.scenario.faults_dict()
         spec = faults.get(self.pid)
         kind = spec if isinstance(spec, str) else (spec or {}).get("kind")
-        # A 'kill' fault is the orchestrator's job (SIGKILL mid-run);
-        # until the signal lands this node is simply honest — which is
-        # exactly what a real crash fault means.
-        self.fault_spec = None if kind == "kill" else spec
+        # 'kill' and 'restart' faults are the orchestrator's job (SIGKILL
+        # mid-run, and for restart a later WAL-recovered respawn); until
+        # the signal lands this node is simply honest — which is exactly
+        # what a real crash fault means.
+        self.fault_spec = None if kind in ("kill", "restart") else spec
         self.network = NodeNetwork(self.pid, self.params, seed=self.scenario.seed)
         self.observer: Optional[Observer] = None
         mode, arg = parse_observe(self.scenario.observe)
@@ -135,6 +161,11 @@ class NodeRunner:
                 rto=netem.rto, max_retries=netem.max_retries,
                 severed=lambda dest, now: policy.severed(src, dest, now),
                 observer=self.observer,
+                # A recovered incarnation must not reuse link sequence
+                # numbers its peers already filtered: one epoch per
+                # restart attempt keeps every new frame above the old
+                # incarnation's reachable range.
+                seq_base=self.attempt << 20,
             )
             self.transport.start_scan()
 
@@ -153,6 +184,16 @@ class NodeRunner:
             on_activation=self._on_activation,
             batching=self.scenario.batching,
         )
+        if self.wal_path is not None and not self.recovering:
+            self._wal_writer = WalWriter.open(self.wal_path, {
+                "run_id": self.manifest.run_id,
+                "scenario_hash": self.manifest.digest,
+                "node": self.pid,
+                "seed": self.scenario.seed,
+                "protocol": self.scenario.protocol,
+                "instances": self.scenario.instances,
+            })
+            self.node.wal = self._wal_writer
 
     def start_clock(self) -> None:
         """Zero the run timeline (called at the ``go`` barrier)."""
@@ -161,11 +202,59 @@ class NodeRunner:
             self.observer.bind_clock(lambda: time.monotonic() - self._zero)
 
     def propose(self) -> None:
-        if self.modules is not None:
-            modules, pid, bit = self.modules, self.pid, self.proposals[self.pid]
-            self.node.queue_action(
-                lambda: self.plan.propose(modules, pid, bit)
+        if self.modules is None:
+            return
+        if self.recovering:
+            self._schedule_replay()
+            return
+        modules, pid, bit = self.modules, self.pid, self.proposals[self.pid]
+
+        def action() -> None:
+            if self._wal_writer is not None:
+                self._wal_writer.append_propose(bit)
+            self.plan.propose(modules, pid, bit)
+
+        self.node.queue_action(action)
+
+    def _schedule_replay(self) -> None:
+        """Queue the WAL replay as the node task's first action.
+
+        The replay runs inside the pump (so replayed sends flush to the
+        transport) before any new delivery is consumed; only then is the
+        WAL reopened for appending, so replayed records are not logged
+        twice.
+        """
+        records = self._wal_records or []
+        modules, pid = self.modules, self.pid
+
+        def action() -> None:
+            started = time.monotonic()
+            stats = replay(
+                records,
+                lambda value: self.plan.propose(modules, pid, value),
+                self.node.target.deliver,
             )
+            self._wal_writer = WalWriter.resume(
+                self.wal_path, len(records) + 1  # + the header record
+            )
+            self.node.wal = self._wal_writer
+            if not stats["proposed"]:
+                # Killed before the proposal was logged: propose fresh.
+                bit = self.proposals[pid]
+                self._wal_writer.append_propose(bit)
+                self.plan.propose(modules, pid, bit)
+            self.replay_stats = {
+                "replayed": stats["replayed"],
+                "replay_ms": (time.monotonic() - started) * 1000.0,
+            }
+            if self.observer is not None:
+                self.observer.emit(
+                    "recovery_replayed", node=pid,
+                    detail=dict(self.replay_stats),
+                )
+            self._replayed.set()
+
+        self.node.queue_action(action)
 
     # -- progress ------------------------------------------------------------
 
@@ -258,6 +347,8 @@ class NodeRunner:
         return out
 
     async def shutdown(self, task: Optional[asyncio.Task]) -> None:
+        if self._wal_writer is not None:
+            self._wal_writer.close()
         if self.transport is not None:
             await self.transport.close()
         elif self._tcp is not None:
@@ -282,8 +373,16 @@ async def run_node(
     bundle_path: str,
     control: Optional[str] = None,
     linger: float = 5.0,
+    wal: Optional[str] = None,
+    recover: Optional[str] = None,
+    attempt: int = 0,
 ) -> int:
-    runner = NodeRunner(load_manifest(manifest_path), load_bundle(bundle_path))
+    runner = NodeRunner(
+        load_manifest(manifest_path), load_bundle(bundle_path),
+        wal_path=recover if recover is not None else wal,
+        recover=recover is not None,
+        attempt=attempt,
+    )
     if control is None:
         return await _run_standalone(runner, linger)
     return await _run_controlled(runner, control)
@@ -299,8 +398,12 @@ async def _run_controlled(runner: NodeRunner, control: str) -> int:
         reader, writer = await asyncio.open_connection(
             host, port, limit=MAX_CONTROL_LINE
         )
+        hello: Dict[str, Any] = {"type": "hello", "node": runner.pid}
+        if runner.recovering:
+            hello["recovered"] = True
+            hello["attempt"] = runner.attempt
         async with send_lock:
-            await send_msg(writer, {"type": "hello", "node": runner.pid})
+            await send_msg(writer, hello)
         message = await read_msg(reader)
         if message is None or message.get("type") != "go":
             raise ReproError(
@@ -319,15 +422,33 @@ async def _run_controlled(runner: NodeRunner, control: str) -> int:
                     "decide_time": runner._decide_time,
                 })
 
-        done_task = asyncio.ensure_future(report_done())
+        side_tasks = [asyncio.ensure_future(report_done())]
+
+        if runner.recovering:
+            async def report_recovered() -> None:
+                await runner._replayed.wait()
+                async with send_lock:
+                    await send_msg(writer, {
+                        "type": "recovered", "node": runner.pid,
+                        **runner.replay_stats,
+                    })
+
+            side_tasks.append(asyncio.ensure_future(report_recovered()))
         try:
             while True:
                 message = await read_msg(reader)
                 if message is None or message.get("type") == "stop":
                     break
+                if message.get("type") == "ping":
+                    async with send_lock:
+                        await send_msg(writer, {
+                            "type": "pong", "node": runner.pid,
+                            "seq": message.get("seq"),
+                        })
         finally:
-            done_task.cancel()
-            await asyncio.gather(done_task, return_exceptions=True)
+            for side in side_tasks:
+                side.cancel()
+            await asyncio.gather(*side_tasks, return_exceptions=True)
         if message is not None:  # a real 'stop', not an orphaning EOF
             async with send_lock:
                 await send_msg(writer, runner.result_payload())
@@ -390,11 +511,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--linger", type=float, default=5.0,
                         help="standalone: seconds to keep serving peers "
                              "after deciding")
+    parser.add_argument("--wal", default=None, metavar="FILE",
+                        help="write a crash-recovery WAL to FILE")
+    parser.add_argument("--recover", default=None, metavar="FILE",
+                        help="boot by replaying the WAL at FILE, then "
+                             "keep appending to it")
+    parser.add_argument("--attempt", type=int, default=0,
+                        help="restart attempt number (with --recover); "
+                             "selects the link-layer sequence epoch")
     args = parser.parse_args(argv)
+    if args.wal is not None and args.recover is not None:
+        parser.error("--wal and --recover are mutually exclusive")
     try:
         return asyncio.run(run_node(
             args.manifest, args.bundle, control=args.control,
-            linger=args.linger,
+            linger=args.linger, wal=args.wal, recover=args.recover,
+            attempt=args.attempt,
         ))
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

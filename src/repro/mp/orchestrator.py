@@ -42,6 +42,8 @@ from ..app.acs import AcsOutput
 from ..errors import ConfigError, LivenessFailure, ReproError
 from ..obs import MetricsRegistry, Observer
 from ..obs.events import Event
+from ..recovery.supervisor import RestartPolicy
+from ..recovery.wal import parse_recovery, wal_filename
 from ..scenario.spec import Scenario
 from ..stacks import ProtocolPlan
 from ..types import Decision, ProcessId, RunResult
@@ -53,6 +55,17 @@ BOOT_TIMEOUT = 30.0
 
 #: Grace period for nodes to answer ``stop`` with their result.
 RESULT_TIMEOUT = 10.0
+
+#: Cadence of the control-channel liveness probe (``ping``/``pong``).
+PING_INTERVAL = 2.0
+
+#: How long one probe waits for its pong before the next retry.
+PING_TIMEOUT = 2.0
+
+#: Probe retries (with doubling waits) before a node is declared
+#: unresponsive — a hung node must surface as a named harness failure,
+#: not as the scenario's full liveness timeout.
+PING_RETRIES = 3
 
 
 class _Reported:
@@ -106,7 +119,8 @@ class MpOrchestrator:
     """One multi-process run, start to verified result."""
 
     def __init__(self, scenario: Scenario, check: bool = True,
-                 observer: Optional[Observer] = None):
+                 observer: Optional[Observer] = None,
+                 keep_scratch: bool = False):
         if scenario.fabric != "mp":
             raise ConfigError(
                 f"the mp orchestrator runs fabric 'mp' scenarios, "
@@ -119,6 +133,7 @@ class MpOrchestrator:
         self.scenario = scenario
         self.check = check
         self.observer = observer
+        self.keep_scratch = keep_scratch
         self.params = scenario.params
         # Validates the protocol/coin/instances combination up front and
         # supplies the canonical proposal table; the coins themselves
@@ -135,7 +150,13 @@ class MpOrchestrator:
             if kind == "kill":
                 after = 0.0 if isinstance(spec, str) else spec.get("after", 0.0)
                 self.kills[pid] = float(after)
-        self.faulty: Set[ProcessId] = set(faults)
+        #: pid -> {"after", "down", "max_restarts"} for restart faults.
+        #: A restart node is *correct* — it is SIGKILLed, recovered from
+        #: its WAL, and then held to the same outcome checks as every
+        #: other correct node (it still counts toward the t budget).
+        self.restarts: Dict[ProcessId, Dict[str, Any]] = scenario.restart_specs()
+        self.recovery_mode, self.wal_dir = parse_recovery(scenario.recovery)
+        self.faulty: Set[ProcessId] = set(faults) - set(self.restarts)
         self.correct: Set[ProcessId] = set(range(scenario.n)) - self.faulty
 
         self.procs: Dict[ProcessId, asyncio.subprocess.Process] = {}
@@ -144,6 +165,15 @@ class MpOrchestrator:
         self.done: Dict[ProcessId, Optional[float]] = {}
         self.crashes: Dict[ProcessId, str] = {}
         self.unexpected_exits: Dict[ProcessId, int] = {}
+        self.unresponsive: Dict[ProcessId, str] = {}
+        self.restart_attempts: Dict[ProcessId, int] = {}
+        self.kill_times: Dict[ProcessId, float] = {}
+        self.recovery_times: Dict[ProcessId, float] = {}
+        self.recovered: Dict[ProcessId, Dict[str, Any]] = {}
+        self._down: Set[ProcessId] = set()  # killed, respawn in flight
+        self._pongs: Dict[ProcessId, int] = {}
+        self._spawn_cmd: Dict[ProcessId, List[str]] = {}
+        self._env: Dict[str, str] = {}
         self._result_events: Dict[ProcessId, asyncio.Event] = {}
         self._wake = asyncio.Event()
         self._hello = asyncio.Event()
@@ -169,6 +199,14 @@ class MpOrchestrator:
             writer.close()
             return
         self.writers[pid] = writer
+        if message.get("recovered") and self._hello.is_set():
+            # Re-barrier of one: the run is already going, so a
+            # WAL-recovered respawn gets its go immediately.
+            try:
+                await send_msg(writer, {"type": "go"})
+            except (ConnectionError, OSError):
+                writer.close()
+                return
         if len(self.writers) == self.scenario.n:
             self._hello.set()
         while True:
@@ -187,6 +225,26 @@ class MpOrchestrator:
                 self._result_events.setdefault(pid, asyncio.Event()).set()
             elif kind == "crash":
                 self.crashes[pid] = str(message.get("error", "unknown"))
+            elif kind == "recovered":
+                self.recovered[pid] = message
+                self._down.discard(pid)
+                killed_at = self.kill_times.get(pid)
+                if killed_at is not None:
+                    self.recovery_times[pid] = time.monotonic() - killed_at
+                if self.observer is not None:
+                    self.observer.emit(
+                        "recovery_complete", node=pid,
+                        detail={
+                            "recovery_time": self.recovery_times.get(pid),
+                            "replayed": message.get("replayed"),
+                            "replay_ms": message.get("replay_ms"),
+                        },
+                        time=time.monotonic() - self._zero,
+                    )
+            elif kind == "pong":
+                seq = message.get("seq")
+                if isinstance(seq, int):
+                    self._pongs[pid] = max(self._pongs.get(pid, 0), seq)
             self._wake.set()
         self._wake.set()
 
@@ -195,6 +253,7 @@ class MpOrchestrator:
     async def run(self) -> RunResult:
         scenario = self.scenario
         bundle_dir = tempfile.mkdtemp(prefix="repro-mp-")
+        self._scratch_dir = bundle_dir
         try:
             if scenario.base_port > 0:
                 ports = [scenario.base_port + pid for pid in range(scenario.n)]
@@ -211,17 +270,21 @@ class MpOrchestrator:
                 self._serve, scenario.host, 0, limit=MAX_CONTROL_LINE
             )
             chost, cport = self._server.sockets[0].getsockname()[:2]
-            env = _child_env()
+            self._env = _child_env()
+            if self.recovery_mode == "wal" and self.wal_dir is None:
+                self.wal_dir = os.path.join(bundle_dir, "wal")
             for pid in range(scenario.n):
-                self.procs[pid] = await asyncio.create_subprocess_exec(
+                self._spawn_cmd[pid] = [
                     sys.executable, "-m", "repro", "node",
                     "--manifest", manifest_path,
                     "--bundle", bundle_paths[pid],
                     "--control", f"{chost}:{cport}",
-                    stdout=asyncio.subprocess.DEVNULL,
-                    stderr=asyncio.subprocess.PIPE,
-                    env=env,
-                )
+                ]
+                extra = None
+                if self.recovery_mode == "wal" and pid in self.correct:
+                    extra = ["--wal",
+                             os.path.join(self.wal_dir, wal_filename(pid))]
+                self.procs[pid] = await self._spawn(pid, extra)
                 self._tasks.append(
                     asyncio.ensure_future(self._monitor(pid, self.procs[pid]))
                 )
@@ -242,6 +305,11 @@ class MpOrchestrator:
                 self._tasks.append(
                     asyncio.ensure_future(self._kill_later(pid, after))
                 )
+            for pid, spec in self.restarts.items():
+                self._tasks.append(
+                    asyncio.ensure_future(self._supervise(pid, spec))
+                )
+            self._tasks.append(asyncio.ensure_future(self._probe_loop()))
 
             timed_out = not await self._wait_for_completion()
             elapsed = time.monotonic() - self._zero
@@ -251,12 +319,26 @@ class MpOrchestrator:
             return result
         finally:
             await self._teardown()
-            shutil.rmtree(bundle_dir, ignore_errors=True)
+            if self.keep_scratch:
+                print(f"mp scratch kept at {bundle_dir}", file=sys.stderr)
+            else:
+                shutil.rmtree(bundle_dir, ignore_errors=True)
+
+    async def _spawn(self, pid: ProcessId,
+                     extra: Optional[List[str]] = None
+                     ) -> asyncio.subprocess.Process:
+        return await asyncio.create_subprocess_exec(
+            *(self._spawn_cmd[pid] + (extra or [])),
+            stdout=asyncio.subprocess.DEVNULL,
+            stderr=asyncio.subprocess.PIPE,
+            env=self._env,
+        )
 
     async def _monitor(self, pid: ProcessId,
                        proc: asyncio.subprocess.Process) -> None:
         rc = await proc.wait()
-        if not self._stopping and pid not in self.kills:
+        if (not self._stopping and pid not in self.kills
+                and pid not in self.restarts):
             self.unexpected_exits[pid] = rc
         self._wake.set()
 
@@ -265,6 +347,123 @@ class MpOrchestrator:
         proc = self.procs.get(pid)
         if proc is not None and proc.returncode is None:
             proc.kill()
+
+    async def _supervise(self, pid: ProcessId, spec: Dict[str, Any]) -> None:
+        """SIGKILL a restart node, then respawn it within a bounded budget.
+
+        The first respawn comes ``down`` seconds after the kill; if the
+        respawned process dies again, further attempts back off
+        exponentially until ``max_restarts`` is exhausted — then the
+        failure surfaces as a named harness error instead of a silent
+        liveness timeout.
+        """
+        down = float(spec.get("down", 1.0))
+        policy = RestartPolicy(
+            max_restarts=int(spec.get("max_restarts", 3)), base_delay=down,
+        )
+        await asyncio.sleep(float(spec.get("after", 0.0)))
+        proc = self.procs.get(pid)
+        if proc is None or self._stopping:
+            return
+        if proc.returncode is None:
+            self._down.add(pid)
+            proc.kill()
+        self.kill_times[pid] = time.monotonic()
+        attempt = 0
+        while not self._stopping:
+            await proc.wait()
+            if self._stopping or pid in self.results:
+                return
+            delay = policy.delay(attempt + 1)
+            if delay is None:
+                self.crashes[pid] = (
+                    f"restart budget exhausted after {attempt} attempts "
+                    f"({await self._stderr_tail([pid])})"
+                )
+                self._wake.set()
+                return
+            attempt += 1
+            await asyncio.sleep(delay)
+            if self._stopping:
+                return
+            self._down.add(pid)
+            self.restart_attempts[pid] = attempt
+            wal_path = os.path.join(self.wal_dir, wal_filename(pid))
+            proc = await self._spawn(
+                pid, ["--recover", wal_path, "--attempt", str(attempt)]
+            )
+            self.procs[pid] = proc
+            if self.observer is not None:
+                self.observer.emit(
+                    "restart", node=pid, detail={"attempt": attempt},
+                    time=time.monotonic() - self._zero,
+                )
+
+    # -- liveness probing ------------------------------------------------------
+
+    async def _probe_loop(self) -> None:
+        seq = 0
+        while not self._stopping:
+            await asyncio.sleep(PING_INTERVAL)
+            if self._stopping:
+                return
+            seq += 1
+            await self._ping_round(seq)
+
+    async def _ping_round(
+        self, seq: int,
+        timeout: float = PING_TIMEOUT,
+        retries: int = PING_RETRIES,
+    ) -> List[ProcessId]:
+        """Probe every live, not-yet-done correct node once.
+
+        A node that accepts pings but never answers after ``retries``
+        re-probes (with doubling waits) is killed and recorded in
+        :attr:`unresponsive`; :meth:`_raise_on_casualties` turns that
+        into a ``node N unresponsive`` error carrying its stderr tail.
+        Returns the pids declared unresponsive this round.
+        """
+        pending: Dict[ProcessId, asyncio.StreamWriter] = {}
+        for pid in sorted(self.correct):
+            if pid in self.done or pid in self._down:
+                continue
+            proc = self.procs.get(pid)
+            if proc is None or proc.returncode is not None:
+                continue
+            writer = self.writers.get(pid)
+            if writer is None or writer.is_closing():
+                continue
+            pending[pid] = writer
+        for attempt in range(retries + 1):
+            if not pending:
+                return []
+            for pid, writer in list(pending.items()):
+                try:
+                    await send_msg(writer, {"type": "ping", "seq": seq})
+                except (ConnectionError, OSError):
+                    # The connection died; the monitor/supervisor owns
+                    # dead processes — unresponsiveness is about hangs.
+                    pending.pop(pid)
+            await asyncio.sleep(timeout * (2 ** attempt))
+            for pid in list(pending):
+                if (self._pongs.get(pid, 0) >= seq or pid in self.done
+                        or pid in self._down):
+                    pending.pop(pid)
+        flagged = []
+        for pid in sorted(pending):
+            # A node that died mid-round is the monitor's or the
+            # supervisor's business; unresponsiveness means a *live*
+            # process that stopped answering.
+            proc = self.procs.get(pid)
+            if (pid in self._down or proc is None
+                    or proc.returncode is not None or self._stopping):
+                continue
+            flagged.append(pid)
+        for pid in flagged:
+            self.unresponsive[pid] = await self._stderr_tail([pid])
+        if flagged:
+            self._wake.set()
+        return flagged
 
     async def _wait_for_completion(self) -> bool:
         """Until every correct node reported ``done``; False on timeout."""
@@ -284,7 +483,14 @@ class MpOrchestrator:
         return True
 
     def _raise_on_casualties(self) -> None:
-        """A *correct* node dying is a harness failure, never a result."""
+        """A *correct* node dying or hanging is a harness failure, never
+        a result."""
+        for pid, tail in sorted(self.unresponsive.items()):
+            if pid in self.correct:
+                raise ReproError(
+                    f"node {pid} unresponsive: no pong after "
+                    f"{PING_RETRIES + 1} control-channel probes ({tail})"
+                )
         for pid in sorted(self.crashes):
             if pid in self.correct:
                 raise ReproError(
@@ -443,6 +649,21 @@ class MpOrchestrator:
         result.meta["decision_latency"] = dict(decision_times)
         if self.kills:
             result.meta["killed"] = sorted(self.kills)
+        if self.recovery_mode == "wal":
+            result.meta["recovery"] = {"mode": "wal", "dir": self.wal_dir}
+        if self.restarts:
+            result.meta["restarted"] = sorted(self.restarts)
+            registry.count("restarts", sum(self.restart_attempts.values()))
+            registry.count("recovery_replayed", sum(
+                int(msg.get("replayed") or 0)
+                for msg in self.recovered.values()
+            ))
+            if self.recovery_times:
+                registry.gauge(
+                    "recovery_time", max(self.recovery_times.values())
+                )
+        if self.keep_scratch:
+            result.meta["scratch_dir"] = self._scratch_dir
         if scenario.instances > 1:
             result.meta["instance_decisions"] = instance_decisions
 
@@ -528,15 +749,21 @@ class MpOrchestrator:
 
 
 async def run_mp(scenario: Scenario, check: bool = True,
-                 observer: Optional[Observer] = None) -> RunResult:
+                 observer: Optional[Observer] = None,
+                 keep_scratch: bool = False) -> RunResult:
     """Execute one ``fabric: "mp"`` scenario; return a verified result."""
-    return await MpOrchestrator(scenario, check=check, observer=observer).run()
+    return await MpOrchestrator(
+        scenario, check=check, observer=observer, keep_scratch=keep_scratch,
+    ).run()
 
 
 def run_mp_sync(scenario: Scenario, check: bool = True,
-                observer: Optional[Observer] = None) -> RunResult:
+                observer: Optional[Observer] = None,
+                keep_scratch: bool = False) -> RunResult:
     """Blocking wrapper around :func:`run_mp` (scenario runner, CLI)."""
-    return asyncio.run(run_mp(scenario, check=check, observer=observer))
+    return asyncio.run(run_mp(
+        scenario, check=check, observer=observer, keep_scratch=keep_scratch,
+    ))
 
 
 __all__ = ["BOOT_TIMEOUT", "MpOrchestrator", "run_mp", "run_mp_sync"]

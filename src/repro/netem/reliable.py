@@ -102,6 +102,7 @@ class ReliableLink:
         max_retries: int = 50,
         severed: Optional[Callable[[ProcessId, float], bool]] = None,
         observer: Optional[Any] = None,
+        seq_base: int = 0,
     ):
         self.inner = inner
         self.pid = inner.pid
@@ -118,6 +119,13 @@ class ReliableLink:
         #: Optional structured-event hub: resends and abandonments are
         #: the link-layer facts worth a timeline entry.
         self.observer = observer
+        # A process recovered from a WAL restarts its per-destination
+        # counters, but its peers' duplicate filters remember the old
+        # sequence space — everything it sends would be dropped as
+        # duplicates.  A recovery boot passes a seq_base far above any
+        # seq the previous incarnation could have reached (an epoch per
+        # restart attempt), so post-recovery frames are always new.
+        self.seq_base = seq_base
         self._next_seq: Dict[ProcessId, int] = {}
         self._pending: Dict[Tuple[ProcessId, int], _Pending] = {}
         self._seen: Dict[ProcessId, _SeenWindow] = {}
@@ -177,7 +185,7 @@ class ReliableLink:
             # must not consume link sequence numbers.
             await self.inner.send(dest, payload)
             return
-        seq = self._next_seq.get(dest, 0)
+        seq = self._next_seq.get(dest, self.seq_base)
         self._next_seq[dest] = seq + 1
         frame = LinkFrame(seq, payload)
         self._pending[(dest, seq)] = _Pending(frame, self.clock.now())

@@ -28,6 +28,11 @@ kind                  emitted by
 ``retransmit``        the reliable link resent an unacked frame
 ``abandon``           the reliable link gave up on a frame (faulty peer)
 ``netem``             a link-policy verdict dropped/duplicated a frame
+``restart``           a restart-fault node went down / was respawned
+``recovery_replayed`` a recovered node finished replaying its WAL (or, on
+                      the simulator, its in-memory delivery log)
+``recovery_complete`` the recovered node rejoined; detail carries
+                      ``recovery_time``
 ====================  ======================================================
 """
 

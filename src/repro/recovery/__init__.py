@@ -1,0 +1,46 @@
+"""Crash recovery: durable WALs, deterministic replay, restart supervision.
+
+The subsystem has three parts, one per execution world:
+
+* :mod:`repro.recovery.wal` — the durable write-ahead log and its
+  strict reader/replayer.  Because the protocol engines are sans-I/O
+  and deterministic, logging a node's *inputs* (proposal + delivered
+  messages) is a complete checkpoint: replaying them through a freshly
+  built stack reconstructs the exact pre-crash state with no protocol
+  code changes.
+* :mod:`repro.recovery.restart` — the simulator's in-memory analogue
+  (suspend, buffer, rebuild, replay) behind the ``restart`` fault kind.
+* :mod:`repro.recovery.supervisor` — the bounded restart budget the mp
+  orchestrator applies when respawning a killed node.
+
+See ``docs/recovery.md`` for the format, the replay invariants, and the
+per-fabric restart semantics.
+"""
+
+from .restart import RestartBehavior
+from .supervisor import RestartPolicy
+from .wal import (
+    RECOVERY_MODES,
+    WAL_VERSION,
+    WalError,
+    WalWriter,
+    parse_recovery,
+    read_wal,
+    replay,
+    validate_header,
+    wal_filename,
+)
+
+__all__ = [
+    "RECOVERY_MODES",
+    "WAL_VERSION",
+    "RestartBehavior",
+    "RestartPolicy",
+    "WalError",
+    "WalWriter",
+    "parse_recovery",
+    "read_wal",
+    "replay",
+    "validate_header",
+    "wal_filename",
+]

@@ -1,0 +1,61 @@
+"""Restart supervision policy.
+
+The mp orchestrator's historical stance was fail-fast: a correct node
+process dying was an immediate run failure.  With crash recovery, a node
+carrying a ``restart`` fault is *expected* to die once (the scripted
+SIGKILL) and may die again while recovering (a damaged WAL, a port
+race).  The supervisor bounds how hard the orchestrator tries: a
+per-node restart budget with exponential backoff between attempts, so a
+crash-looping node degrades into a clean "budget exhausted" failure
+instead of a spawn storm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ConfigError
+
+__all__ = ["RestartPolicy"]
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """How many times, and how eagerly, to respawn one node.
+
+    ``base_delay`` is the wait before the first respawn — for a scripted
+    ``restart`` fault this is the fault's ``down`` window.  Each further
+    attempt multiplies the wait by ``backoff``, capped at ``max_delay``.
+    """
+
+    max_restarts: int = 3
+    base_delay: float = 0.5
+    backoff: float = 2.0
+    max_delay: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_restarts, int) or self.max_restarts < 1:
+            raise ConfigError(
+                f"max_restarts must be an int >= 1, got {self.max_restarts!r}"
+            )
+        if self.base_delay < 0:
+            raise ConfigError(f"base_delay must be >= 0, got {self.base_delay!r}")
+        if self.backoff < 1.0:
+            raise ConfigError(f"backoff must be >= 1, got {self.backoff!r}")
+
+    def delay(self, attempt: int) -> Optional[float]:
+        """Seconds to wait before restart ``attempt`` (1-based).
+
+        Returns ``None`` once the budget is exhausted — the caller turns
+        that into a terminal failure for the node.
+        """
+        if attempt < 1:
+            raise ConfigError(f"restart attempts are 1-based, got {attempt}")
+        if attempt > self.max_restarts:
+            return None
+        return min(self.base_delay * self.backoff ** (attempt - 1), self.max_delay)
+
+    def schedule(self) -> List[float]:
+        """The full backoff schedule, mostly for docs and tests."""
+        return [self.delay(i) for i in range(1, self.max_restarts + 1)]  # type: ignore[misc]

@@ -25,6 +25,8 @@ benchmarks.
 from __future__ import annotations
 
 import asyncio
+import os
+import tempfile
 import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Union
 
@@ -50,6 +52,7 @@ from ..netem import (
 )
 from ..netem.clock import Clock
 from ..params import for_system
+from ..recovery.wal import WalWriter, parse_recovery, wal_filename
 from ..sim.effects import parse_batching
 from ..sim.process import Process
 from ..stacks import PROTOCOLS, ProtocolPlan, build_plan_behavior
@@ -94,6 +97,7 @@ class Cluster:
         netem: Optional[NetemConfig] = None,
         batching: str = "off",
         observer: Optional[Observer] = None,
+        recovery: str = "off",
     ):
         self.params = for_system(n, t)
         self.protocol = protocol
@@ -123,10 +127,12 @@ class Cluster:
         )
         if self.netem is not None:
             self.netem.validate_pids(n)
+        self.recovery_mode, self.wal_dir = parse_recovery(recovery)
         self.plan = ProtocolPlan(protocol, self.params, coin, seed, instances)
         self.proposals: Dict[ProcessId, Any] = self.plan.default_proposals(proposals)
 
         self.nodes: Dict[ProcessId, Node] = {}
+        self._wal_writers: Dict[ProcessId, WalWriter] = {}
         self.stacks: Dict[ProcessId, List[Any]] = {}  # correct nodes only
         self.behaviors: Dict[ProcessId, ByzantineBehavior] = {}
         self.transports: Dict[ProcessId, Transport] = {}
@@ -179,12 +185,15 @@ class Cluster:
             )
             self.nodes[pid] = node
 
+        if self.recovery_mode == "wal":
+            self._attach_wals()
+
         # Queue proposals before the run loops start so every correct
         # node proposes immediately after its modules' start() hooks.
         for pid, modules in self.stacks.items():
             bit = self.proposals[pid]
             self.nodes[pid].queue_action(
-                lambda m=modules, p=pid, b=bit: self.plan.propose(m, p, b)
+                lambda m=modules, p=pid, b=bit: self._propose(p, m, b)
             )
 
         self._zero = time.monotonic()
@@ -192,6 +201,35 @@ class Cluster:
             asyncio.ensure_future(node.run()) for node in self.nodes.values()
         ]
         return self
+
+    def _attach_wals(self) -> None:
+        """Open one WAL per correct node and hook it into the pump.
+
+        The header binds each file to this exact run (seed, protocol,
+        instances), so a recovery boot against the wrong scenario is
+        refused rather than replayed into nonsense.
+        """
+        if self.wal_dir is None:
+            self.wal_dir = tempfile.mkdtemp(prefix="repro-wal-")
+        for pid in self.stacks:
+            writer = WalWriter.open(
+                os.path.join(self.wal_dir, wal_filename(pid)),
+                {
+                    "run_id": f"{self.transport_kind}-{self.seed}",
+                    "node": pid,
+                    "seed": self.seed,
+                    "protocol": self.protocol,
+                    "instances": self.instances,
+                },
+            )
+            self._wal_writers[pid] = writer
+            self.nodes[pid].wal = writer
+
+    def _propose(self, pid: ProcessId, modules: List[Any], bit: Any) -> None:
+        writer = self._wal_writers.get(pid)
+        if writer is not None:
+            writer.append_propose(bit)
+        self.plan.propose(modules, pid, bit)
 
     async def _make_transports(self) -> None:
         n = self.params.n
@@ -351,7 +389,9 @@ class Cluster:
                 raise node.crashed
 
     async def shutdown(self) -> None:
-        """Close transports, netem machinery, and all node tasks."""
+        """Close transports, netem machinery, WALs, and all node tasks."""
+        for writer in self._wal_writers.values():
+            writer.close()
         await asyncio.gather(
             *(t.close() for t in self.transports.values()), return_exceptions=True
         )
@@ -415,6 +455,12 @@ class Cluster:
         result.meta["protocol"] = self.protocol
         result.meta["instances"] = self.instances
         result.meta["batching"] = self.batching
+        if self.recovery_mode == "wal":
+            result.meta["recovery"] = {"mode": "wal", "dir": self.wal_dir}
+            self.registry.count(
+                "wal_records",
+                sum(w.next_seq for w in self._wal_writers.values()),
+            )
 
         # Framing/wire accounting lives on the metrics registry only;
         # read it via ``result.metrics`` (the back-compat meta mirror

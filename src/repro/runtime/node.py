@@ -152,6 +152,11 @@ class Node:
         self.wire_messages_sent = 0
         self.messages_delivered = 0
         self.crashed: Optional[BaseException] = None
+        #: Optional :class:`~repro.recovery.wal.WalWriter`.  Each inbound
+        #: protocol message is logged *before* it reaches the target, so
+        #: the WAL is always a superset of the applied state — the
+        #: invariant crash recovery replays against (docs/recovery.md).
+        self.wal: Optional[Any] = None
         self._proposals: Deque[Callable[[], None]] = deque()
 
     # -- cluster-side controls ------------------------------------------------
@@ -201,11 +206,15 @@ class Node:
         if isinstance(payload, WireBatch):
             for message in payload.messages:
                 self.messages_delivered += 1
+                if self.wal is not None:
+                    self.wal.append_deliver(sender, message)
                 if observer is not None:
                     observer.message("deliver", self.pid, message)
                 self.target.deliver(sender, message)
         else:
             self.messages_delivered += 1
+            if self.wal is not None:
+                self.wal.append_deliver(sender, payload)
             if observer is not None:
                 observer.message("deliver", self.pid, payload)
             self.target.deliver(sender, payload)

@@ -207,6 +207,31 @@ _entry(Scenario(
 ))
 
 _entry(Scenario(
+    name="mp-restart",
+    description="Crash *recovery* made literal: node 3's OS process is "
+                "SIGKILLed 0.1s into the run, respawned 0.5s later from "
+                "its write-ahead log, replays its way back to the exact "
+                "pre-crash state, and still decides — while ReliableLink "
+                "retransmission re-delivers everything it missed.",
+    protocol="bracha", n=4, proposals=1, fabric="mp", seed=67,
+    faults={3: {"kind": "restart", "after": 0.1, "down": 0.5}},
+    recovery="wal", observe="ring",
+    link={"retransmit": True, "rto": 0.1, "delay": 0.05,
+          "max_retries": 200},
+))
+
+_entry(Scenario(
+    name="recovery-local",
+    description="The durable WAL exercised on the deterministic local "
+                "fabric: every node logs its proposal and deliveries to "
+                "benchmarks/out/recovery-local/ as run artifacts — replay "
+                "any of them through a fresh stack to reconstruct that "
+                "node's exact final state.",
+    protocol="bracha", n=4, proposals=1, fabric="local", seed=71,
+    recovery="wal:benchmarks/out/recovery-local",
+))
+
+_entry(Scenario(
     name="partition-heal",
     description="Scripted split-brain on a real transport: {0,1}|{2,3} "
                 "severed for the first 0.25s of modeled time, then healed; "

@@ -35,6 +35,7 @@ from ..analysis.experiments import (
     verify_outcome,
 )
 from ..obs import MetricsRegistry, Observer, build_observer
+from ..recovery.restart import RestartBehavior
 from ..sim.process import Process
 from ..sim.rng import derive_seed
 from ..sim.runner import Simulation
@@ -43,7 +44,12 @@ from ..types import Decision, ProcessId, RunResult
 from .spec import Scenario
 
 
-def run(scenario: Scenario, check: bool = True, **overrides: Any) -> RunResult:
+def run(
+    scenario: Scenario,
+    check: bool = True,
+    keep_scratch: bool = False,
+    **overrides: Any,
+) -> RunResult:
     """Execute a scenario on its declared fabric; return a verified result.
 
     Keyword overrides are scenario fields applied via
@@ -51,6 +57,8 @@ def run(scenario: Scenario, check: bool = True, **overrides: Any) -> RunResult:
     fabric="tcp")`` or ``run(s, seed=3)`` run a variant without mutating
     the spec.  With ``check=True`` safety/liveness violations raise; with
     ``check=False`` they are recorded in ``result.violations``.
+    ``keep_scratch`` preserves the mp fabric's scratch directory (bundles
+    and WALs) for debugging instead of deleting it after the run.
     """
     if overrides:
         scenario = scenario.replace(**overrides)
@@ -59,7 +67,7 @@ def run(scenario: Scenario, check: bool = True, **overrides: Any) -> RunResult:
         if scenario.fabric == "sim":
             result = _run_sim(scenario, check, observer)
         elif scenario.fabric == "mp":
-            result = _run_mp(scenario, check, observer)
+            result = _run_mp(scenario, check, observer, keep_scratch)
         else:
             result = _run_runtime(scenario, check, observer)
     finally:
@@ -115,8 +123,14 @@ def _run_sim(
     # First-Decide virtual time per node, captured the moment the effect
     # applies — richer than stamping every decision with the end time.
     decide_times: Dict[ProcessId, float] = {}
+    # A recovery replay re-fires Decide effects the pre-crash execution
+    # already reported; count/emit each (node, module) decision once.
+    decided_modules: set = set()
 
     def _on_decide(pid: ProcessId, effect: Any) -> None:
+        if (pid, effect.module) in decided_modules:
+            return
+        decided_modules.add((pid, effect.module))
         registry.count("module_decisions")
         decide_times.setdefault(pid, sim.now)
         if observer is not None:
@@ -125,8 +139,14 @@ def _run_sim(
                 round=effect.round, detail=effect.value,
             )
 
+    def _on_restart_event(kind: str, pid: ProcessId, detail: Dict[str, Any]) -> None:
+        if observer is not None:
+            observer.emit(kind, node=pid, detail=dict(detail))
+
     stacks: Dict[ProcessId, List[Any]] = {}
     behaviors: Dict[ProcessId, Any] = {}
+    restart_nodes: Dict[ProcessId, RestartBehavior] = {}
+    restart_specs = scenario.restart_specs()
     # ``batching="off"`` flushes each effect eagerly (the historical
     # inline-send path); any other mode drains the outbox per delivery
     # step.  Both produce the same event order for a fixed seed — the
@@ -134,7 +154,22 @@ def _run_sim(
     # bit — so the knob is observable only on the runtime fabrics.
     eager = scenario.batching == "off"
     for pid in range(scenario.n):
-        if pid in faults:
+        if pid in restart_specs:
+            spec = restart_specs[pid]
+
+            def _factory(process: Process, p: ProcessId = pid) -> List[Any]:
+                process.on_decide = lambda effect: _on_decide(p, effect)
+                return plan.build(process)
+
+            node = RestartBehavior(
+                pid, sim.network, params, _factory,
+                after=int(spec.get("after", 8)),
+                down=int(spec.get("down", 1)),
+                on_event=_on_restart_event,
+            )
+            sim.network.register(node)
+            restart_nodes[pid] = node
+        elif pid in faults:
             behavior = build_plan_behavior(
                 pid, faults[pid], sim.network, params, plan, proposals
             )
@@ -148,11 +183,22 @@ def _run_sim(
     sim.start()
     for pid, modules in stacks.items():
         plan.propose(modules, pid, proposals[pid])
+    for pid, node in restart_nodes.items():
+        node.propose(plan, proposals[pid])
 
+    # Restart nodes are *correct* — they must decide/halt like any other
+    # correct node, but their module list is rebuilt on recovery, so the
+    # stop predicate reads it through the behavior, not a snapshot.
     if scenario.stop == "decided":
-        until = lambda: all(plan.decided(m) for m in stacks.values())  # noqa: E731
+        until = lambda: (  # noqa: E731
+            all(plan.decided(m) for m in stacks.values())
+            and all(r.is_decided(plan) for r in restart_nodes.values())
+        )
     elif scenario.stop == "halted":
-        until = lambda: all(plan.halted(m) for m in stacks.values())  # noqa: E731
+        until = lambda: (  # noqa: E731
+            all(plan.halted(m) for m in stacks.values())
+            and all(r.is_halted(plan) for r in restart_nodes.values())
+        )
     else:  # "quiescent" — drain every message
         until = None
 
@@ -173,8 +219,29 @@ def _run_sim(
     if budget_exhausted:
         result.violations.append("event budget exhausted (possible livelock)")
 
+    # Merge recovered restart nodes into the correct-node readout.  A
+    # node still down when the run ends has no modules to read: that is
+    # a liveness failure (a correct node was expected back).
+    readout: Dict[ProcessId, List[Any]] = dict(stacks)
+    still_down = []
+    for pid, node in restart_nodes.items():
+        if node.down_now:
+            still_down.append(pid)
+        else:
+            readout[pid] = node.modules
+    if still_down:
+        from ..errors import LivenessFailure
+
+        message = (
+            f"restart nodes never recovered: {sorted(still_down)} "
+            "(no traffic arrived after the down window)"
+        )
+        result.violations.append(message)
+        if check:
+            raise LivenessFailure(message)
+
     coin_flips = 0
-    for pid, modules in stacks.items():
+    for pid, modules in readout.items():
         if scenario.protocol == "acs":
             acs = modules[0]
             if acs.done:
@@ -202,25 +269,40 @@ def _run_sim(
     registry.gauge("virtual_time", result.virtual_time)
     for latency in decide_times.values():
         registry.observe("decision_latency", latency)
+    if restart_nodes:
+        result.meta["restarted"] = sorted(restart_nodes)
+        registry.count(
+            "restarts", sum(r.restarts for r in restart_nodes.values())
+        )
+        recovered = [
+            r.recovery_time for r in restart_nodes.values()
+            if r.recovery_time is not None
+        ]
+        if recovered:
+            registry.gauge("recovery_time", max(recovered))
+        registry.count(
+            "recovery_replayed",
+            sum(r.replayed for r in restart_nodes.values()),
+        )
     result.metrics = registry.snapshot()
 
     if scenario.protocol == "acs":
         outputs = {
             pid: modules[0].output
-            for pid, modules in stacks.items() if modules[0].done
+            for pid, modules in readout.items() if modules[0].done
         }
         verify_acs_outcome(outputs, params, result, check=check)
-        _check_acs_liveness(stacks, result, check)
+        _check_acs_liveness(readout, result, check)
     else:
         verify_outcome(
             proposals,
-            {pid: modules[0] for pid, modules in stacks.items()},
+            {pid: modules[0] for pid, modules in readout.items()},
             result,
             check=check,
         )
         if scenario.instances > 1:
             verify_instance_outcomes(
-                proposals, stacks, scenario.instances, result, check=check
+                proposals, readout, scenario.instances, result, check=check
             )
     return result
 
@@ -273,6 +355,7 @@ def _run_runtime(
         netem=scenario.netem_config(),
         batching=scenario.batching,
         observer=observer,
+        recovery=scenario.recovery,
     )
 
 
@@ -282,11 +365,16 @@ def _run_runtime(
 
 
 def _run_mp(
-    scenario: Scenario, check: bool, observer: Optional[Observer] = None
+    scenario: Scenario,
+    check: bool,
+    observer: Optional[Observer] = None,
+    keep_scratch: bool = False,
 ) -> RunResult:
     from ..mp.orchestrator import run_mp_sync
 
-    return run_mp_sync(scenario, check=check, observer=observer)
+    return run_mp_sync(
+        scenario, check=check, observer=observer, keep_scratch=keep_scratch
+    )
 
 
 __all__ = ["repeat", "run"]

@@ -34,6 +34,7 @@ from ..errors import ConfigError
 from ..netem import NetemConfig
 from ..obs import OBSERVE_MODES, parse_observe
 from ..params import ProtocolParams, for_system
+from ..recovery.wal import RECOVERY_MODES, parse_recovery
 from ..sim.effects import BATCHING_MODES, parse_batching
 from ..sim.scheduler import (
     FifoScheduler,
@@ -46,6 +47,19 @@ from ..stacks import PROTOCOLS
 FABRICS = ("sim", "local", "tcp", "mp")
 STOPS = ("decided", "halted", "quiescent")
 COINS = ("local", "dealer", "shares")
+
+#: Fault kinds that exist only on some fabrics:
+#: kind -> (supported fabrics, what it does, nearest kind elsewhere).
+#: Behavior kinds (silent/crash/two_faced/fuzzer/stubborn) run everywhere
+#: and are validated by the behavior dispatcher instead.
+FAULT_KIND_FABRICS: Dict[str, Tuple[Tuple[str, ...], str, str]] = {
+    "kill": (("mp",), "SIGKILL the node's OS process", "crash"),
+    "restart": (
+        ("sim", "mp"),
+        "crash a correct node, then bring it back via recovery replay",
+        "crash",
+    ),
+}
 
 #: Canonical in-object form of one fault spec: ``(("kind", k), ...)``.
 CanonicalFault = Tuple[Tuple[str, Any], ...]
@@ -286,6 +300,11 @@ class Scenario:
             newest N events, attached to ``meta["obs_events"]``), or
             ``jsonl``/``jsonl:PATH`` (JSONL trace file readable by
             ``repro report``); see docs/observability.md.
+        recovery: crash-recovery WAL logging on the runtime fabrics —
+            ``off`` (default), ``wal`` (per-node write-ahead logs in a
+            run-scoped scratch directory), or ``wal:DIR`` (logs kept in
+            ``DIR`` as run artifacts).  Required on ``mp`` when a fault
+            uses kind ``restart``; see docs/recovery.md.
         stop: ``decided`` | ``halted`` | ``quiescent`` (sim only).
         max_steps / timeout: liveness budget (sim steps / runtime seconds).
         host, base_port: TCP fabric placement (0 = pick free ports).
@@ -307,6 +326,7 @@ class Scenario:
     instances: int = 1
     batching: str = "off"
     observe: str = "off"
+    recovery: str = "off"
     seed: int = 0
     stop: str = "decided"
     max_steps: int = 2_000_000
@@ -365,26 +385,79 @@ class Scenario:
                 self, "proposals", _canonical_proposals(self.proposals, self.n)
             )
 
+        restart_pids = []
         for pid, spec in self.faults:
             if not 0 <= pid < self.n:
                 raise ConfigError(f"fault pid {pid} out of range")
             table = dict(spec)
-            if table["kind"] == "kill":
-                # The real-crash fault: the orchestrator SIGKILLs the
-                # node's OS process mid-run.  Only the mp fabric has a
-                # process to kill; in-interpreter fabrics model crashes
-                # with the 'crash' behavior instead.
-                if self.fabric != "mp":
+            kind = table["kind"]
+            constraint = FAULT_KIND_FABRICS.get(kind)
+            if constraint is not None:
+                fabrics, what, nearest = constraint
+                if self.fabric not in fabrics:
+                    names = " or ".join(f"'{f}' fabric" for f in fabrics)
                     raise ConfigError(
-                        "fault kind 'kill' (SIGKILL the node's OS process) "
-                        "needs the 'mp' fabric; use kind 'crash' on "
-                        f"{self.fabric!r}"
+                        f"fault kind {kind!r} ({what}) runs only on the "
+                        f"{names}, not {self.fabric!r}; the nearest kind "
+                        f"supported there is {nearest!r}"
                     )
+            if kind in ("kill", "restart"):
+                # Both are scheduled crashes of a real node: SIGKILL after
+                # 'after' seconds on mp ('restart' on sim counts
+                # deliveries instead — the discrete-event clock).
                 after = table.get("after", 0.0)
-                if not isinstance(after, (int, float)) or after < 0:
+                if isinstance(after, bool) or not isinstance(after, (int, float)) \
+                        or after < 0:
                     raise ConfigError(
-                        f"kill fault needs 'after' >= 0 seconds, got {after!r}"
+                        f"{kind} fault needs 'after' >= 0, got {after!r}"
                     )
+            if kind == "restart":
+                restart_pids.append(pid)
+                allowed = {"kind", "after", "down", "max_restarts"}
+                unknown = sorted(set(table) - allowed)
+                if unknown:
+                    raise ConfigError(
+                        f"restart fault has unknown field(s) {unknown}; "
+                        f"allowed: {sorted(allowed - {'kind'})}"
+                    )
+                down = table.get("down")
+                if down is not None and (
+                        isinstance(down, bool)
+                        or not isinstance(down, (int, float)) or down <= 0):
+                    raise ConfigError(
+                        f"restart fault needs 'down' > 0, got {down!r}"
+                    )
+                max_restarts = table.get("max_restarts")
+                if max_restarts is not None and (
+                        isinstance(max_restarts, bool)
+                        or not isinstance(max_restarts, int)
+                        or max_restarts < 1):
+                    raise ConfigError(
+                        f"restart fault needs 'max_restarts' >= 1, "
+                        f"got {max_restarts!r}"
+                    )
+        recovery_mode, _ = parse_recovery(self.recovery)
+        if recovery_mode != "off" and self.fabric == "sim":
+            raise ConfigError(
+                "recovery WAL logging needs a runtime fabric ('local', "
+                "'tcp', or 'mp'); the sim fabric's 'restart' fault replays "
+                "from memory and takes no 'recovery' setting"
+            )
+        if restart_pids and self.fabric == "mp":
+            if recovery_mode == "off":
+                raise ConfigError(
+                    "a 'restart' fault on the 'mp' fabric needs recovery "
+                    "enabled (recovery='wal' or 'wal:DIR') so the respawned "
+                    "process can replay its write-ahead log"
+                )
+            netem = self.netem_config()
+            if netem is None or not netem.retransmit:
+                raise ConfigError(
+                    "a 'restart' fault on the 'mp' fabric needs link "
+                    "retransmission so peers re-deliver the frames the node "
+                    "missed while down — set link={'retransmit': True} "
+                    "(tune 'rto'/'max_retries' to cover the down window)"
+                )
         if len(self.faults) > params.t and not self.allow_excess_faults:
             raise ConfigError(
                 f"{len(self.faults)} faults injected but t={params.t}; "
@@ -438,6 +511,15 @@ class Scenario:
                 out[pid] = table["kind"]
             else:
                 out[pid] = {k: _thaw(v) for k, v in table.items()}
+        return out
+
+    def restart_specs(self) -> Dict[int, Dict[str, Any]]:
+        """The ``restart`` faults only: pid → ``{"after", "down", ...}``."""
+        out: Dict[int, Dict[str, Any]] = {}
+        for pid, spec in self.faults:
+            table = {k: _thaw(v) for k, v in spec}
+            if table.pop("kind") == "restart":
+                out[pid] = table
         return out
 
     def scheduler_args_dict(self) -> Dict[str, Any]:
@@ -540,7 +622,9 @@ __all__ = [
     "BATCHING_MODES",
     "COINS",
     "FABRICS",
+    "FAULT_KIND_FABRICS",
     "OBSERVE_MODES",
+    "RECOVERY_MODES",
     "SCHEDULERS",
     "STOPS",
     "Scenario",

@@ -52,6 +52,22 @@ class SplitRng:
         """Return an independent ``SplitRng`` rooted under this one."""
         return SplitRng(derive_seed(self.master_seed, "child", *names))
 
+    def reset(self, *prefix: object) -> int:
+        """Re-seed every cached stream whose name path starts with ``prefix``.
+
+        A crash-recovery replay needs each stream back at its *initial*
+        state so the recovered process draws the same values in the same
+        order as the original execution.  Stream seeds are pure functions
+        of the master seed and the name path, so resetting is just
+        re-deriving.  Returns the number of streams reset.
+        """
+        count = 0
+        for key in list(self._streams):
+            if key[: len(prefix)] == tuple(prefix):
+                self._streams[key] = random.Random(derive_seed(self.master_seed, *key))
+                count += 1
+        return count
+
     def coin_sequence(self, *names: object) -> Iterator[int]:
         """Yield an endless stream of unbiased bits from a named stream."""
         stream = self.stream(*names)

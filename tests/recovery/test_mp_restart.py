@@ -1,0 +1,214 @@
+"""Crash recovery on the mp fabric: SIGKILL, respawn, replay, decide.
+
+The expensive end of the recovery contract, run with real OS
+processes: every protocol decides on ``fabric: "mp"`` with one correct
+node SIGKILLed mid-run and respawned from its write-ahead log, the
+recovered run's *logical* decide stream matches the simulator's for
+the same unanimous scenario, the recovery metrics land on the result,
+and the supervision machinery (liveness probes, scratch lifecycle) is
+unit-tested against the real control-channel server without spawning
+anything.
+"""
+
+import asyncio
+import os
+import shutil
+
+import pytest
+
+from repro.errors import ReproError
+from repro.mp.control import read_msg, send_msg
+from repro.mp.orchestrator import PING_RETRIES, MpOrchestrator
+from repro.scenario import Scenario, run
+
+#: Unanimous fixed-seed configurations with node "restart_pid" killed
+#: 0.1s into the run and respawned from its WAL 0.5s later.  The link
+#: retransmission budget (rto * max_retries) must outlast the down
+#: window or peers give the node up for dead before it returns.
+RESTART_LINK = {"retransmit": True, "rto": 0.1, "delay": 0.05,
+                "max_retries": 200}
+
+
+def _restart_scenario(protocol, **kw):
+    n = kw.get("n", 4)
+    if protocol != "acs":  # ACS nodes propose request payloads instead
+        kw.setdefault("proposals", 1)
+    return Scenario(
+        protocol=protocol, fabric="mp", seed=67,
+        faults={n - 1: {"kind": "restart", "after": 0.1, "down": 0.5}},
+        recovery="wal", observe="ring", link=RESTART_LINK, **kw,
+    )
+
+
+RESTART_SCENARIOS = {
+    "bracha": _restart_scenario("bracha"),
+    "benor": _restart_scenario("benor"),
+    "benor-crash": _restart_scenario("benor-crash", n=5, t=2),
+    "mmr14": _restart_scenario("mmr14", coin="dealer"),
+    "acs": _restart_scenario("acs"),
+}
+
+
+def _logical_decides(result):
+    """Sorted (node, instance, value) triples of the decide events."""
+    return sorted(
+        (event.node, event.instance, event.detail)
+        for event in result.meta["obs_events"]
+        if event.kind == "decide"
+    )
+
+
+class TestMpRestart:
+    @pytest.mark.parametrize("protocol", sorted(RESTART_SCENARIOS))
+    def test_every_protocol_survives_a_wal_recovered_sigkill(self, protocol):
+        scenario = RESTART_SCENARIOS[protocol]
+        result = run(scenario)
+        assert not result.violations
+        # The restarted node is correct: *everyone* decides, it included.
+        assert len(result.decisions) == scenario.n
+        if protocol != "acs":
+            assert result.decided_values == {1}
+
+        counters = result.metrics.counters
+        assert counters.get("restarts") == 1
+        assert counters.get("recovery_replayed", 0) > 0
+        assert result.metrics.gauges.get("recovery_time", 0) > 0
+        assert result.meta["restarted"] == [scenario.n - 1]
+
+        kinds = [e.kind for e in result.meta["obs_events"]]
+        for kind in ("restart", "recovery_replayed", "recovery_complete"):
+            assert kind in kinds
+
+        # The decide stream of the recovered run is logically the
+        # simulator's for the same unanimous spec: recovery changed
+        # *when* node n-1 decided, never *what* anyone decided.
+        sim = run(scenario.replace(
+            fabric="sim", faults={}, recovery="off", link={}))
+        decides = _logical_decides(result)
+        assert decides == _logical_decides(sim)
+        assert decides
+
+
+class TestScratchLifecycle:
+    SCENARIO = Scenario(protocol="bracha", n=4, proposals=1, fabric="mp",
+                        seed=53, recovery="wal")
+
+    def test_scratch_is_deleted_by_default(self):
+        result = run(self.SCENARIO)
+        wal_dir = result.meta["recovery"]["dir"]
+        assert "scratch_dir" not in result.meta
+        assert not os.path.exists(wal_dir)
+
+    def test_keep_scratch_preserves_bundles_and_wals(self):
+        result = run(self.SCENARIO, keep_scratch=True)
+        scratch = result.meta["scratch_dir"]
+        try:
+            assert os.path.isdir(scratch)
+            assert os.path.isfile(os.path.join(scratch, "manifest.json"))
+            wal_dir = result.meta["recovery"]["dir"]
+            for pid in range(4):
+                assert os.path.isfile(
+                    os.path.join(wal_dir, f"wal-{pid}.jsonl"))
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
+class _FakeProc:
+    """Stands in for an asyncio subprocess in the ping unit tests."""
+
+    def __init__(self):
+        self.returncode = None
+        self.killed = False
+
+    def kill(self):
+        self.killed = True
+        self.returncode = -9
+
+    async def communicate(self):
+        return b"", b"stack dump\nwedged in a syscall\n"
+
+
+class TestPingProbe:
+    """`_ping_round` against the real `_serve`, over real sockets, with
+    fake node clients — no subprocess spawn."""
+
+    SCENARIO = Scenario(protocol="bracha", n=2, t=0, proposals=1,
+                        fabric="mp", seed=3)
+
+    async def _probe(self, responsive_pids):
+        orch = MpOrchestrator(self.SCENARIO)
+        server = await asyncio.start_server(orch._serve, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        clients = []
+        pumps = []
+        try:
+            for pid in range(2):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port)
+                await send_msg(writer, {"type": "hello", "node": pid})
+                clients.append(writer)
+
+                async def pump(r=reader, w=writer, p=pid):
+                    while True:
+                        message = await read_msg(r)
+                        if message is None:
+                            return
+                        if (message.get("type") == "ping"
+                                and p in responsive_pids):
+                            await send_msg(w, {
+                                "type": "pong", "node": p,
+                                "seq": message["seq"]})
+
+                pumps.append(asyncio.ensure_future(pump()))
+                orch.procs[pid] = _FakeProc()
+            await asyncio.sleep(0.05)  # both hellos land
+            flagged = await orch._ping_round(1, timeout=0.05, retries=2)
+            return orch, flagged
+        finally:
+            for task in pumps:
+                task.cancel()
+            for writer in clients:
+                writer.close()
+            server.close()
+            await server.wait_closed()
+
+    def test_all_responsive_nodes_pass(self):
+        orch, flagged = asyncio.run(self._probe({0, 1}))
+        assert flagged == []
+        assert not orch.unresponsive
+
+    def test_a_hung_node_is_flagged_with_its_stderr_tail(self):
+        orch, flagged = asyncio.run(self._probe({0}))
+        assert flagged == [1]
+        assert not orch.procs[0].killed  # the healthy node is untouched
+        assert "wedged in a syscall" in orch.unresponsive[1]
+        with pytest.raises(
+                ReproError,
+                match=rf"node 1 unresponsive: no pong after "
+                      rf"{PING_RETRIES + 1} control-channel probes"):
+            orch._raise_on_casualties()
+
+    def test_done_and_respawning_nodes_are_exempt(self):
+        async def probe():
+            orch = MpOrchestrator(self.SCENARIO)
+            server = await asyncio.start_server(orch._serve, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            writers = []
+            try:
+                for pid in range(2):
+                    _, writer = await asyncio.open_connection(
+                        "127.0.0.1", port)
+                    await send_msg(writer, {"type": "hello", "node": pid})
+                    writers.append(writer)
+                    orch.procs[pid] = _FakeProc()
+                await asyncio.sleep(0.05)
+                orch.done[0] = 1.0      # reported done: nothing to probe
+                orch._down.add(1)       # killed, respawn in flight
+                return await orch._ping_round(1, timeout=0.02, retries=0)
+            finally:
+                for writer in writers:
+                    writer.close()
+                server.close()
+                await server.wait_closed()
+
+        assert asyncio.run(probe()) == []
