@@ -25,11 +25,20 @@ Subcommands:
 * ``sweep`` — repeated runs of one configuration with aggregate stats.
 * ``report`` — analysis tables (decision latency, per-round timing)
   from a JSONL trace produced by ``observe: jsonl``.
+* ``trace`` — causal analysis of the same JSONL trace: send→deliver
+  correlation, per-decision critical paths, phase breakdown, and the
+  queue-vs-processing split.
+* ``profile`` — run a scenario with ``profile: on`` and print the
+  hot-path span table (sim step/deliver, runtime flush, codec+MAC,
+  WAL append).
 
 Examples::
 
     python -m repro run examples/scenarios/split_brain.json
     python -m repro run --name two-faced-equivocator --fabric tcp
+    python -m repro run --name partition-heal && \\
+        python -m repro trace partition-heal-trace.jsonl
+    python -m repro profile --name batched-pipeline
     python -m repro catalog
     python -m repro consensus -n 7 --faults 5:two_faced 6:silent --seed 3
     python -m repro consensus -n 4 --protocol mmr14 --coin dealer
@@ -53,6 +62,8 @@ from .analysis.stats import summarize
 from .analysis.tables import format_table
 from .errors import ReproError
 from .obs import load_events
+from .obs.causality import render_trace
+from .obs.profile import SPAN_PREFIX, render_profile
 from .obs.report import render_report
 from .scenario import (
     CATALOG,
@@ -141,16 +152,37 @@ def _print_result(scenario: Scenario, result: Any) -> None:
     if result.metrics is not None and result.metrics.histograms:
         # Counters/gauges duplicate the lines above; the histograms
         # (decision-latency quantiles) are the snapshot-only view.
-        # Simulator latencies are virtual-time units, not seconds.
+        # Simulator latencies are virtual-time units, not seconds —
+        # except span_* profile timings, which are always wall-clock
+        # seconds and get their own section below.
+        latency_names = sorted(
+            name for name in result.metrics.histograms
+            if not name.startswith(SPAN_PREFIX)
+        )
+        span_names = sorted(
+            name for name in result.metrics.histograms
+            if name.startswith(SPAN_PREFIX)
+        )
         scale, unit = (1.0, "vt") if scenario.fabric == "sim" else (1000.0, "ms")
-        print("latency   :")
-        for name in sorted(result.metrics.histograms):
-            h = result.metrics.histograms[name]
-            print(f"  {name}: n={int(h.get('count', 0))} "
-                  f"p50={h.get('p50', 0.0) * scale:.2f}{unit} "
-                  f"p95={h.get('p95', 0.0) * scale:.2f}{unit} "
-                  f"p99={h.get('p99', 0.0) * scale:.2f}{unit} "
-                  f"max={h.get('max', 0.0) * scale:.2f}{unit}")
+        if latency_names:
+            print("latency   :")
+            for name in latency_names:
+                h = result.metrics.histograms[name]
+                print(f"  {name}: n={int(h.get('count', 0))} "
+                      f"p50={h.get('p50', 0.0) * scale:.2f}{unit} "
+                      f"p95={h.get('p95', 0.0) * scale:.2f}{unit} "
+                      f"p99={h.get('p99', 0.0) * scale:.2f}{unit} "
+                      f"max={h.get('max', 0.0) * scale:.2f}{unit}")
+        if span_names:
+            print("profile   :")
+            for name in span_names:
+                h = result.metrics.histograms[name]
+                print(f"  {name[len(SPAN_PREFIX):]}: "
+                      f"n={int(h.get('count', 0))} "
+                      f"p50={h.get('p50', 0.0) * 1e6:.1f}µs "
+                      f"p95={h.get('p95', 0.0) * 1e6:.1f}µs "
+                      f"max={h.get('max', 0.0) * 1e6:.1f}µs "
+                      f"total={h.get('count', 0) * h.get('mean', 0.0) * 1000:.2f}ms")
     obs = result.meta.get("obs")
     if obs:
         where = obs.get("path") or f"{obs.get('retained', 0)} retained in memory"
@@ -370,6 +402,38 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    events = load_events(args.file)
+    print(render_trace(events, limit=args.limit))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    if args.name:
+        scenario = get_scenario(args.name)
+    elif args.scenario:
+        scenario = load_scenario(args.scenario)
+    else:
+        raise ReproError("nothing to profile: give a scenario file or --name")
+    overrides: dict = {"profile": "on"}
+    if args.fabric is not None:
+        overrides["fabric"] = args.fabric
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    scenario = scenario.replace(**overrides)
+    result = run_scenario(scenario)
+    print(f"scenario  : {scenario.name or '<inline>'} "
+          f"(fabric: {scenario.fabric}, seed: {scenario.seed})")
+    if scenario.fabric == "sim":
+        print(f"run       : {result.steps} steps, "
+              f"{result.messages_delivered} deliveries")
+    else:
+        print(f"run       : {result.virtual_time * 1000:.1f} ms wall, "
+              f"{result.messages_delivered} deliveries")
+    print(render_profile(result.metrics))
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     scenario = Scenario(
         n=args.n,
@@ -572,6 +636,34 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--rounds", type=int, default=40,
                         help="max (instance, round) rows to print")
     report.set_defaults(func=cmd_report)
+
+    trace = sub.add_parser(
+        "trace",
+        help="causal analysis of a JSONL trace: send/deliver correlation, "
+             "per-decision critical paths, phase breakdown",
+    )
+    trace.add_argument("file", metavar="FILE",
+                       help="JSONL trace written by observe=jsonl[:PATH]")
+    trace.add_argument("--limit", type=int, default=16,
+                       help="max per-decision critical-path rows to print")
+    trace.set_defaults(func=cmd_trace)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a scenario with profile=on and print the hot-path "
+             "span table",
+    )
+    profile.add_argument("scenario", nargs="?", metavar="FILE",
+                         help="scenario JSON file")
+    profile.add_argument("--name", default=None, metavar="NAME",
+                         help="catalog scenario name (see `repro catalog`)")
+    profile.add_argument("--fabric", choices=["sim", "local", "tcp"],
+                         default=None,
+                         help="override the scenario's fabric (profiling is "
+                              "not available on mp)")
+    profile.add_argument("--seed", type=int, default=None,
+                         help="override the scenario's seed")
+    profile.set_defaults(func=cmd_profile)
 
     return parser
 

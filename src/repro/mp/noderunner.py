@@ -50,6 +50,7 @@ from ..obs.observer import DEFAULT_RING_CAPACITY, parse_observe
 from ..obs.sinks import RingSink
 from ..runtime.node import Node, NodeNetwork
 from ..runtime.tcp import TcpTransport
+from ..sim.effects import CausalStamper
 from ..sim.process import Process
 from ..stacks import ProtocolPlan, build_plan_behavior
 from .bundle import NodeBundle, RunManifest, load_bundle, load_manifest
@@ -107,6 +108,12 @@ class NodeRunner:
         # what a real crash fault means.
         self.fault_spec = None if kind in ("kill", "restart") else spec
         self.network = NodeNetwork(self.pid, self.params, seed=self.scenario.seed)
+        if self.attempt:
+            # A respawned incarnation restarts its per-sender sequence
+            # counters; a fresh causal-id epoch keeps its stamps disjoint
+            # from any still-on-the-wire messages of the dead incarnation
+            # (same move as the link-layer seq_base below).
+            self.network.stamper = CausalStamper(epoch=self.attempt)
         self.observer: Optional[Observer] = None
         mode, arg = parse_observe(self.scenario.observe)
         if mode != "off":

@@ -24,6 +24,15 @@ The pieces:
   (:mod:`repro.obs.metrics`);
 * ``repro report`` — per-instance decision-latency and per-round timing
   tables rendered from a JSONL trace (:mod:`repro.obs.report`);
+* causal tracing — send/deliver correlation via per-sender message ids
+  (stamped at the effect boundary when observing), the delivery DAG, and
+  per-decision critical paths rendered by ``repro trace``
+  (:mod:`repro.obs.causality`);
+* span profiling — the ``profile`` Scenario field attaches a
+  :class:`~repro.obs.profile.SpanProfiler` that times the hot paths
+  (sim step/deliver, runtime flush, codec+MAC, WAL append) into
+  ``span_*`` metrics histograms, rendered by ``repro profile``
+  (:mod:`repro.obs.profile`);
 * the perf gate — benchmarks emit ``BENCH_<name>.json`` headline
   numbers through :mod:`repro.obs.bench`, and
   ``python -m repro.obs.check_floors`` compares them against committed
@@ -35,12 +44,28 @@ follows the same validated-field convention as ``link`` and
 ``batching``.  See ``docs/observability.md``.
 """
 
+from .causality import (
+    CausalDag,
+    PathHop,
+    build_dag,
+    critical_path_stats,
+    critical_path_table,
+    render_trace,
+)
 from .events import Event, classify_payload
 from .metrics import Histogram, MetricsRegistry, MetricsSnapshot
 from .observer import OBSERVE_MODES, Observer, build_observer, parse_observe
+from .profile import (
+    PROFILE_MODES,
+    SpanProfiler,
+    build_profiler,
+    parse_profile,
+    render_profile,
+)
 from .sinks import JsonlSink, RingSink, load_events, render_events
 
 __all__ = [
+    "CausalDag",
     "Event",
     "Histogram",
     "JsonlSink",
@@ -48,10 +73,20 @@ __all__ = [
     "MetricsSnapshot",
     "OBSERVE_MODES",
     "Observer",
+    "PROFILE_MODES",
+    "PathHop",
     "RingSink",
+    "SpanProfiler",
+    "build_dag",
     "build_observer",
+    "build_profiler",
     "classify_payload",
+    "critical_path_stats",
+    "critical_path_table",
     "load_events",
     "parse_observe",
+    "parse_profile",
     "render_events",
+    "render_profile",
+    "render_trace",
 ]

@@ -1,0 +1,513 @@
+"""Causal analysis of a trace: the delivery DAG and critical paths.
+
+With causal message ids on ``send``/``deliver`` events (the
+:class:`~repro.sim.effects.CausalStamper` detail ``{"msg": id,
+"payload": ...}``), a JSONL trace stops being a flat timeline and
+becomes a graph: a message delivered to a node happens-before every
+send that node issues afterwards, and each deliver names — via its id —
+the exact send that produced it.  This module reconstructs that graph
+and answers the question the flat views cannot: *which chain of
+messages gated this decision?*
+
+The **critical path** of a decide event is the latest-arriving enabling
+chain, walked backwards: the decision was reached while processing the
+decider's most recent delivery; that message's send was issued by its
+sender right after *its* most recent delivery; and so on until a send
+with no prior delivery (a protocol-start broadcast).  This is the
+causal-DAG view PARSEC-style analyses build on, and the per-hop
+``wait`` (deliver time − send time) decomposes end-to-end decision
+latency into the links that actually carried it.
+
+Also here: the per-round **phase breakdown** (e.g. Bracha ``ECHO`` vs
+``READY`` gating, extracted from payload classnames/steps), and the
+**queue-vs-processing split** — per delivered message, how long it
+spent in flight versus how long the receiving node worked before its
+next event, which on the runtime fabrics separates network/queue time
+from handler time.
+
+Everything degrades observationally: traces from unobserved stamping
+eras (no ``msg`` details) yield empty DAGs and empty tables, never
+errors.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.tables import format_table
+from ..sim.effects import parse_mid
+from .events import Event
+
+#: Backstop on backward walks: a path longer than this means the trace
+#: is corrupt (e.g. merged per-node clocks produced an index cycle).
+MAX_PATH_HOPS = 100_000
+
+
+def event_mid(event: Event) -> Optional[str]:
+    """The causal message id carried by a send/deliver event, if any."""
+    detail = event.detail
+    if isinstance(detail, dict):
+        mid = detail.get("msg")
+        if isinstance(mid, str):
+            return mid
+    return None
+
+
+def event_payload_repr(event: Event) -> Optional[str]:
+    """The payload rendering of a send/deliver event, stamped or not."""
+    detail = event.detail
+    if isinstance(detail, dict):
+        payload = detail.get("payload")
+        return payload if isinstance(payload, str) else None
+    return detail if isinstance(detail, str) else None
+
+
+@dataclass(frozen=True)
+class PathHop:
+    """One message on a critical path: ``src`` sent it, ``dest`` got it.
+
+    ``send_time`` is ``None`` for a dangling hop — the deliver named an
+    id whose send event is not in the trace (e.g. the sender crashed
+    before its event ring was shipped).
+    """
+
+    mid: str
+    src: int
+    dest: int
+    send_time: Optional[float]
+    deliver_time: float
+    instance: Optional[str]
+    round: Optional[int]
+    payload: Optional[str]
+
+    @property
+    def wait(self) -> Optional[float]:
+        """In-flight time (deliver − send), when both ends are known."""
+        if self.send_time is None:
+            return None
+        return max(0.0, self.deliver_time - self.send_time)
+
+
+class CausalDag:
+    """The delivery DAG reconstructed from one event stream.
+
+    Events are stably sorted by time (ties keep stream order, which is
+    emission order per node), indexed, and cross-linked: ``sends`` and
+    ``delivers`` map causal ids to event indices, and every event knows
+    its node's nearest preceding delivery — the happens-before edge the
+    backward walks follow.
+    """
+
+    def __init__(self, events: Sequence[Event]):
+        self.events: List[Event] = sorted(events, key=lambda e: e.time)
+        self.sends: Dict[str, int] = {}
+        self.delivers: Dict[str, List[int]] = {}
+        #: send/deliver events carrying no causal id (pre-stamping trace
+        #: or an unobserved sender) — visible so coverage gaps are loud.
+        self.unstamped = 0
+        self._prev_deliver: Dict[int, int] = {}
+        last_deliver: Dict[Any, int] = {}
+        for index, event in enumerate(self.events):
+            node = event.node
+            if node is not None and node in last_deliver:
+                self._prev_deliver[index] = last_deliver[node]
+            if event.kind == "send":
+                mid = event_mid(event)
+                if mid is None:
+                    self.unstamped += 1
+                elif mid not in self.sends:  # first wins; dups counted below
+                    self.sends[mid] = index
+            elif event.kind == "deliver":
+                mid = event_mid(event)
+                if mid is None:
+                    self.unstamped += 1
+                else:
+                    self.delivers.setdefault(mid, []).append(index)
+                if node is not None:
+                    last_deliver[node] = index
+
+    # -- correlation accounting ---------------------------------------------
+
+    def matched_delivers(self) -> int:
+        """Delivers whose id names a send present in the trace."""
+        return sum(
+            len(indices) for mid, indices in self.delivers.items()
+            if mid in self.sends
+        )
+
+    def dangling_delivers(self) -> int:
+        """Delivers whose send event is missing from the trace."""
+        return sum(
+            len(indices) for mid, indices in self.delivers.items()
+            if mid not in self.sends
+        )
+
+    def duplicate_delivers(self) -> int:
+        """Extra deliveries of an already-delivered id (netem duplicates)."""
+        return sum(
+            len(indices) - 1 for indices in self.delivers.values()
+            if len(indices) > 1
+        )
+
+    # -- the walks -----------------------------------------------------------
+
+    def enabling_deliver(self, index: int) -> Optional[int]:
+        """The nearest delivery at ``events[index]``'s node before it."""
+        return self._prev_deliver.get(index)
+
+    def critical_path(self, index: int) -> List[PathHop]:
+        """The latest-arriving enabling chain behind ``events[index]``.
+
+        ``index`` is usually a decide event; the returned hops run
+        oldest-first and the final hop's ``dest`` is the event's node.
+        An empty list means the event had no prior delivery (or the
+        trace carries no causal ids).
+        """
+        hops: List[PathHop] = []
+        visited = set()
+        cursor = index
+        while len(hops) < MAX_PATH_HOPS:
+            if cursor in visited:
+                break  # merged-clock anomaly; never loop
+            visited.add(cursor)
+            deliver_index = self._prev_deliver.get(cursor)
+            if deliver_index is None:
+                break
+            deliver = self.events[deliver_index]
+            mid = event_mid(deliver)
+            if mid is None:
+                break  # unstamped era: the chain is unknowable past here
+            send_index = self.sends.get(mid)
+            if send_index is None:
+                # Dangling: the sender's events are lost (e.g. it was
+                # killed before shipping its ring).  The id still names
+                # the true sender.
+                sender, _epoch, _seq = parse_mid(mid)
+                hops.append(PathHop(
+                    mid=mid, src=sender, dest=deliver.node,
+                    send_time=None, deliver_time=deliver.time,
+                    instance=deliver.instance, round=deliver.round,
+                    payload=event_payload_repr(deliver),
+                ))
+                break
+            send = self.events[send_index]
+            hops.append(PathHop(
+                mid=mid, src=send.node, dest=deliver.node,
+                send_time=send.time, deliver_time=deliver.time,
+                instance=deliver.instance, round=deliver.round,
+                payload=event_payload_repr(deliver),
+            ))
+            cursor = send_index
+        hops.reverse()
+        return hops
+
+    def critical_paths(self) -> List[Tuple[Event, List[PathHop]]]:
+        """``(decide event, path)`` for every decide, in stream order."""
+        return [
+            (event, self.critical_path(index))
+            for index, event in enumerate(self.events)
+            if event.kind == "decide"
+        ]
+
+
+def build_dag(events: Sequence[Event]) -> CausalDag:
+    """Reconstruct the delivery DAG from a trace's events."""
+    return CausalDag(events)
+
+
+# ---------------------------------------------------------------------------
+# Phase breakdown
+# ---------------------------------------------------------------------------
+
+_CLASS_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\(")
+_STEP_RE = re.compile(r"(?:step|phase)=<?[A-Za-z_]*\.?([A-Z_]+)")
+
+
+def phase_of(event: Event) -> Optional[str]:
+    """A best-effort phase label for a protocol message event.
+
+    Message classnames separate protocol stages by construction
+    (``PVote`` vs ``RVote``, ``BvValue`` vs ``AuxMsg``); Bracha's
+    :class:`~repro.core.broadcast.RbcMessage` multiplexes its stages
+    through a ``step`` field, surfaced as ``RbcMessage/ECHO`` etc.
+    """
+    payload = event_payload_repr(event)
+    if not payload:
+        return None
+    match = _CLASS_RE.match(payload)
+    if match is None:
+        return None
+    label = match.group(1)
+    step = _STEP_RE.search(payload)
+    if step is not None:
+        label += "/" + step.group(1)
+    return label
+
+
+def phase_table(events: Sequence[Event], limit: int = 40) -> str:
+    """Delivered-message windows per ``(instance, round, phase)``."""
+    ordered = sorted(events, key=lambda e: e.time)
+    zero = min((e.time for e in ordered), default=0.0)
+    windows: Dict[Tuple[str, Any, str], List[float]] = {}
+    counts: Dict[Tuple[str, Any, str], int] = {}
+    for event in ordered:
+        if event.kind != "deliver":
+            continue
+        phase = phase_of(event)
+        if phase is None:
+            continue
+        key = (event.instance or "<protocol>", event.round, phase)
+        t = event.time - zero
+        window = windows.get(key)
+        if window is None:
+            windows[key] = [t, t]
+        else:
+            window[1] = t  # ordered input: first stays, last advances
+        counts[key] = counts.get(key, 0) + 1
+    if not windows:
+        return "no phase-classifiable deliveries in trace"
+    rows = []
+    sort_key = lambda k: (k[0], k[1] if k[1] is not None else -1, k[2])  # noqa: E731
+    for key in sorted(windows, key=sort_key):
+        first, last = windows[key]
+        rows.append([
+            key[0], "-" if key[1] is None else key[1], key[2], counts[key],
+            f"{first * 1000:.3f}", f"{last * 1000:.3f}",
+            f"{(last - first) * 1000:.3f}",
+        ])
+    truncated = len(rows) > limit
+    table = format_table(
+        ["instance", "round", "phase", "delivered", "first ms", "last ms",
+         "span ms"],
+        rows[:limit],
+        title="Per-round phase breakdown (delivery windows)",
+    )
+    if truncated:
+        table += f"\n... {len(rows) - limit} more (instance, round, phase) rows"
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Queue-vs-processing split
+# ---------------------------------------------------------------------------
+
+
+def queue_split(
+    events: Sequence[Event],
+) -> Dict[int, Dict[str, List[float]]]:
+    """Per-node ``{"wait": [...], "processing": [...]}`` samples.
+
+    *Wait* is a message's in-flight time (deliver − send, matched by
+    causal id).  *Processing* is the gap from a delivery to the
+    receiving node's next event — how long the handler (and anything it
+    triggered) ran before the node surfaced again.  On the runtime
+    fabrics the split separates network/queue time from compute; on the
+    simulator both are virtual-time views of the schedule.
+    """
+    dag = build_dag(events)
+    samples: Dict[int, Dict[str, List[float]]] = {}
+    next_time: Dict[int, float] = {}
+    # Walk backwards so each event knows its node's next-event time.
+    following: List[Optional[float]] = [None] * len(dag.events)
+    for index in range(len(dag.events) - 1, -1, -1):
+        node = dag.events[index].node
+        if node is None:
+            continue
+        following[index] = next_time.get(node)
+        next_time[node] = dag.events[index].time
+    for mid, indices in dag.delivers.items():
+        send_index = dag.sends.get(mid)
+        for index in indices:
+            deliver = dag.events[index]
+            if deliver.node is None:
+                continue
+            per_node = samples.setdefault(
+                deliver.node, {"wait": [], "processing": []}
+            )
+            if send_index is not None:
+                wait = deliver.time - dag.events[send_index].time
+                per_node["wait"].append(max(0.0, wait))
+            after = following[index]
+            if after is not None:
+                per_node["processing"].append(max(0.0, after - deliver.time))
+    return samples
+
+
+def queue_split_table(events: Sequence[Event]) -> str:
+    """The queue-vs-processing split rendered per node."""
+    samples = queue_split(events)
+    if not samples:
+        return "no correlated deliveries in trace (run with observe on)"
+
+    def stats(values: List[float]) -> Tuple[str, str]:
+        if not values:
+            return ("-", "-")
+        ordered = sorted(values)
+        p50 = ordered[len(ordered) // 2]
+        return (f"{p50 * 1000:.3f}", f"{ordered[-1] * 1000:.3f}")
+
+    rows = []
+    total: Dict[str, List[float]] = {"wait": [], "processing": []}
+    for node in sorted(samples):
+        wait, processing = samples[node]["wait"], samples[node]["processing"]
+        total["wait"] += wait
+        total["processing"] += processing
+        wait_p50, wait_max = stats(wait)
+        proc_p50, proc_max = stats(processing)
+        rows.append([
+            f"p{node}", len(wait), wait_p50, wait_max, proc_p50, proc_max,
+        ])
+    wait_p50, wait_max = stats(total["wait"])
+    proc_p50, proc_max = stats(total["processing"])
+    rows.append([
+        "all", len(total["wait"]), wait_p50, wait_max, proc_p50, proc_max,
+    ])
+    return format_table(
+        ["node", "messages", "wait p50 ms", "wait max ms",
+         "processing p50 ms", "processing max ms"],
+        rows,
+        title="Queue vs processing split (in-flight wait / handler time)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Critical-path rendering
+# ---------------------------------------------------------------------------
+
+
+def _render_path(hops: List[PathHop], max_hops: int = 6) -> str:
+    if not hops:
+        return "(no enabling delivery)"
+    shown = hops[-max_hops:]
+    parts = [f"p{shown[0].src}"]
+    for hop in shown:
+        parts.append(f"-[{hop.mid}]-> p{hop.dest}")
+    prefix = f"... {len(hops) - len(shown)} earlier hops, " if len(hops) > len(shown) else ""
+    return prefix + " ".join(parts)
+
+
+def critical_path_table(events: Sequence[Event], limit: int = 16) -> str:
+    """Per-decision critical paths (the ``repro trace`` centerpiece)."""
+    dag = build_dag(events)
+    paths = dag.critical_paths()
+    if not paths:
+        return "no decide events in trace"
+    zero = min((e.time for e in dag.events), default=0.0)
+    rows = []
+    for decide, hops in paths:
+        if hops:
+            start = hops[0].send_time
+            if start is None:
+                start = hops[0].deliver_time
+            span_ms = f"{(hops[-1].deliver_time - start) * 1000:.3f}"
+        else:
+            span_ms = "-"
+        rows.append([
+            f"p{decide.node}",
+            decide.instance or "<protocol>",
+            repr(decide.detail),
+            f"{(decide.time - zero) * 1000:.3f}",
+            len(hops),
+            span_ms,
+            _render_path(hops),
+        ])
+    truncated = len(rows) > limit
+    table = format_table(
+        ["node", "instance", "value", "decided ms", "hops", "path span ms",
+         "critical path (latest-arriving chain)"],
+        rows[:limit],
+        title="Per-decision critical paths",
+    )
+    if truncated:
+        table += f"\n... {len(rows) - limit} more decisions"
+    return table
+
+
+def critical_path_stats(events: Sequence[Event]) -> Dict[str, float]:
+    """``critical_path_*`` scalars for ``repro report`` (empty = no data)."""
+    dag = build_dag(events)
+    if not dag.sends:
+        return {}
+    lengths: List[int] = []
+    spans: List[float] = []
+    for _decide, hops in dag.critical_paths():
+        if not hops:
+            continue
+        lengths.append(len(hops))
+        start = hops[0].send_time
+        if start is None:
+            start = hops[0].deliver_time
+        spans.append(hops[-1].deliver_time - start)
+    if not lengths:
+        return {}
+    lengths.sort()
+    spans.sort()
+    return {
+        "critical_path_decides": float(len(lengths)),
+        "critical_path_hops_p50": float(lengths[len(lengths) // 2]),
+        "critical_path_hops_max": float(lengths[-1]),
+        "critical_path_ms_p50": spans[len(spans) // 2] * 1000.0,
+        "critical_path_ms_max": spans[-1] * 1000.0,
+    }
+
+
+def correlation_summary(events: Sequence[Event]) -> str:
+    """One-paragraph send/deliver correlation accounting."""
+    dag = build_dag(events)
+    lines = [
+        f"correlation: {len(dag.sends)} stamped sends, "
+        f"{dag.matched_delivers()} matched delivers",
+    ]
+    dangling = dag.dangling_delivers()
+    duplicates = dag.duplicate_delivers()
+    if dangling:
+        lines.append(
+            f"  {dangling} dangling delivers (sender events missing — "
+            "crashed node or truncated ring)"
+        )
+    if duplicates:
+        lines.append(f"  {duplicates} duplicate deliveries (netem)")
+    if dag.unstamped:
+        lines.append(
+            f"  {dag.unstamped} unstamped send/deliver events "
+            "(trace predates causal ids?)"
+        )
+    return "\n".join(lines)
+
+
+def render_trace(events: Sequence[Event], limit: int = 16) -> str:
+    """The full ``repro trace`` output for one trace."""
+    if not events:
+        return "empty trace (no events)"
+    ordered = sorted(events, key=lambda e: e.time)
+    span = ordered[-1].time - ordered[0].time
+    parts = [
+        f"trace: {len(ordered)} events spanning {span * 1000:.3f} ms",
+        correlation_summary(ordered),
+        "",
+        critical_path_table(ordered, limit=limit),
+        "",
+        phase_table(ordered),
+        "",
+        queue_split_table(ordered),
+    ]
+    return "\n".join(parts)
+
+
+__all__ = [
+    "CausalDag",
+    "PathHop",
+    "build_dag",
+    "correlation_summary",
+    "critical_path_stats",
+    "critical_path_table",
+    "event_mid",
+    "event_payload_repr",
+    "phase_of",
+    "phase_table",
+    "queue_split",
+    "queue_split_table",
+    "render_trace",
+]

@@ -20,6 +20,7 @@ parsed by :func:`parse_observe`:
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import ConfigError
@@ -63,6 +64,15 @@ def parse_observe(spec: Any) -> Tuple[str, Any]:
         path = spec[len("jsonl:"):]
         if not path:
             raise ConfigError("observe 'jsonl:PATH' needs a non-empty path")
+        # Validate the destination now, at Scenario validation time: a
+        # missing parent directory should be a ConfigError before the
+        # run, not an OSError traceback out of the sink mid-run.
+        parent = os.path.dirname(path)
+        if parent and not os.path.isdir(parent):
+            raise ConfigError(
+                f"observe 'jsonl:{path}': directory {parent!r} does not "
+                "exist — create it before the run"
+            )
         return ("jsonl", path)
     raise ConfigError(
         f"unknown observe spec {spec!r}; choose from {list(OBSERVE_MODES)}"
@@ -114,9 +124,19 @@ class Observer:
         node: Optional[int],
         payload: Any,
         time: Optional[float] = None,
+        mid: Optional[str] = None,
     ) -> None:
-        """Emit a ``send``/``deliver`` event, classifying the payload."""
+        """Emit a ``send``/``deliver`` event, classifying the payload.
+
+        ``mid`` is the causal message id assigned by the fabric's
+        :class:`~repro.sim.effects.CausalStamper`; when present the
+        event detail becomes ``{"msg": mid, "payload": <repr>}`` so a
+        ``deliver`` can be correlated with the ``send`` that caused it
+        (:mod:`repro.obs.causality`).
+        """
         instance, round_, detail = classify_payload(payload)
+        if mid is not None:
+            detail = {"msg": mid, "payload": detail}
         self.emit(
             kind, node=node, instance=instance, round=round_,
             detail=detail, time=time,

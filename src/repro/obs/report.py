@@ -22,7 +22,20 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.tables import format_table
+from .causality import critical_path_stats
 from .events import Event
+
+
+def _ordered(events: Sequence[Event]) -> List[Event]:
+    """Events stably sorted by time.
+
+    The mp fabric merges per-node rings whose clocks are independent, so
+    a loaded trace can interleave slightly out of order; table builders
+    sort first so windows and ``limit`` truncation reflect time, not
+    merge order.  The sort is stable: equal-time events keep stream
+    (emission) order.
+    """
+    return sorted(events, key=lambda e: e.time)
 
 
 def _percentile(values: Sequence[float], q: float) -> float:
@@ -41,6 +54,7 @@ def _percentile(values: Sequence[float], q: float) -> float:
 
 def decision_latency_table(events: List[Event]) -> str:
     """Per-instance decision latency across nodes, from decide events."""
+    events = _ordered(events)
     zero = min((e.time for e in events), default=0.0)
     by_instance: Dict[str, List[float]] = {}
     deciders: Dict[str, int] = {}
@@ -72,6 +86,7 @@ def decision_latency_table(events: List[Event]) -> str:
 
 def round_timing_table(events: List[Event], limit: int = 40) -> str:
     """First/last message time and count per ``(instance, round)``."""
+    events = _ordered(events)
     zero = min((e.time for e in events), default=0.0)
     windows: Dict[Tuple[str, int], List[float]] = {}
     counts: Dict[Tuple[str, int], int] = {}
@@ -122,11 +137,28 @@ def kind_totals_table(events: List[Event]) -> str:
     )
 
 
+def critical_path_lines(events: Sequence[Event]) -> List[str]:
+    """``critical_path_*`` scalars as report lines (empty = unstamped trace)."""
+    stats = critical_path_stats(events)
+    if not stats:
+        return []
+    lines = ["critical paths (from causal message ids):"]
+    for name in sorted(stats):
+        value = stats[name]
+        if name.endswith("_ms_p50") or name.endswith("_ms_max"):
+            lines.append(f"  {name:<26} {value:.3f}")
+        else:
+            lines.append(f"  {name:<26} {int(value)}")
+    lines.append("  (full per-decision paths: repro trace FILE)")
+    return lines
+
+
 def render_report(events: List[Event], rounds_limit: int = 40) -> str:
     """The full ``repro report`` output for one trace."""
     if not events:
         return "empty trace (no events)"
-    span = max(e.time for e in events) - min(e.time for e in events)
+    events = _ordered(events)
+    span = events[-1].time - events[0].time
     parts = [
         f"trace: {len(events)} events spanning {span * 1000:.3f} ms",
         "",
@@ -136,10 +168,14 @@ def render_report(events: List[Event], rounds_limit: int = 40) -> str:
         "",
         round_timing_table(events, limit=rounds_limit),
     ]
+    path_lines = critical_path_lines(events)
+    if path_lines:
+        parts += [""] + path_lines
     return "\n".join(parts)
 
 
 __all__ = [
+    "critical_path_lines",
     "decision_latency_table",
     "kind_totals_table",
     "render_report",

@@ -42,7 +42,7 @@ from ..analysis.experiments import (
 from ..core.coin import CoinScheme
 from ..errors import ConfigError, LivenessFailure
 from ..net.auth import KeyRing
-from ..obs import MetricsRegistry, Observer
+from ..obs import MetricsRegistry, Observer, build_profiler
 from ..netem import (
     LinkPolicy,
     NetemConfig,
@@ -98,6 +98,7 @@ class Cluster:
         batching: str = "off",
         observer: Optional[Observer] = None,
         recovery: str = "off",
+        profile: str = "off",
     ):
         self.params = for_system(n, t)
         self.protocol = protocol
@@ -146,6 +147,10 @@ class Cluster:
         self._started = False
         self.observer = observer
         self.registry = MetricsRegistry()
+        # One cluster-wide profiler: nodes share the registry, so span
+        # histograms aggregate across the whole cluster (per-node splits
+        # would multiply histogram storage for no analytical gain here).
+        self.profiler = build_profiler(profile, self.registry)
         if self.observer is not None:
             # One cluster-wide timeline: seconds since the run loops
             # launched (the closure reads _zero when each event fires).
@@ -183,6 +188,7 @@ class Cluster:
                 pid, network, self.transports[pid], target,
                 on_activation=self._on_activation, batching=self.batching,
             )
+            node.profiler = self.profiler
             self.nodes[pid] = node
 
         if self.recovery_mode == "wal":
@@ -259,6 +265,7 @@ class Cluster:
                     pid, n, ring, host=self.host, port=port,
                     policy=self._policy, clock=self._clock,
                 )
+                endpoints[pid].profiler = self.profiler
             for t in endpoints.values():
                 await t.start()
             peers = {pid: t.address for pid, t in endpoints.items()}

@@ -36,6 +36,7 @@ from ..errors import ReproError
 
 __all__ = [
     "CodecError",
+    "Stamped",
     "WireBatch",
     "register_message",
     "encode",
@@ -122,6 +123,40 @@ class WireBatch:
 
     def __len__(self) -> int:
         return len(self.messages)
+
+
+@dataclasses.dataclass(frozen=True)
+class Stamped:
+    """A protocol payload wrapped with its causal message id.
+
+    When a run is observed, :class:`~repro.runtime.node.NodeNetwork`
+    stamps every outbound message with the id its ``send`` event carries
+    (``"<sender>:<seq>"``, see
+    :class:`~repro.sim.effects.CausalStamper`), and the receiving
+    :class:`~repro.runtime.node.Node` strips the wrapper before the WAL,
+    the observer, and the protocol target see the message — so the
+    ``deliver`` event carries the matching id and nothing protocol-side
+    ever learns the wrapper exists.  Without an observer the wrapper is
+    never constructed and the wire shape is unchanged.
+
+    The id must be a string (inbound frames re-run this constructor, so
+    a Byzantine peer cannot smuggle non-JSON-safe junk into traces), and
+    stamps must not nest — one message, one id.
+    """
+
+    mid: str
+    payload: Any
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.mid, str):
+            raise CodecError(
+                f"causal id must be a string, got {type(self.mid).__name__}"
+            )
+        if isinstance(self.payload, Stamped):
+            raise CodecError("stamped payloads must not nest")
+        if isinstance(self.payload, WireBatch):
+            # Batches carry stamped messages, never the other way round.
+            raise CodecError("a stamp wraps one message, not a wire batch")
 
 
 # -- encoding ---------------------------------------------------------------
@@ -276,6 +311,7 @@ def _register_builtin_types() -> None:
     ):
         register_message(cls)
     register_message(WireBatch)
+    register_message(Stamped)
     register_enum(Phase)
     register_enum(Step)
 

@@ -42,13 +42,13 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..errors import ReproError
 from ..params import ProtocolParams
-from ..sim.effects import parse_batching
+from ..sim.effects import CausalStamper, parse_batching
 from ..sim.metrics import Metrics
 from ..sim.process import Process
 from ..sim.rng import SplitRng
 from ..sim.trace import NullTrace
 from ..types import ProcessId
-from .codec import WireBatch
+from .codec import Stamped, WireBatch
 from .transport import Transport, TransportClosed
 
 
@@ -73,6 +73,14 @@ class NodeNetwork:
         #: Optional structured-event hub (:class:`repro.obs.Observer`),
         #: shared with every other node of the cluster.
         self.observer: Optional[Any] = None
+        #: Causal message ids for send/deliver correlation.  Under an
+        #: observer every outbound payload is wrapped in a
+        #: :class:`~repro.runtime.codec.Stamped` so the id survives the
+        #: wire; the receiving node strips it before the protocol sees
+        #: the message.  Crash-recovered incarnations get a fresh epoch
+        #: (:mod:`repro.mp.noderunner`) so their ids cannot collide with
+        #: ones the dead incarnation already sent.
+        self.stamper = CausalStamper()
         self._clock_zero = time.monotonic()
 
     # -- NetworkAPI ----------------------------------------------------------
@@ -89,9 +97,12 @@ class NodeNetwork:
         # transport attributes traffic to the node's own pid, so a stack
         # (or a Byzantine behavior) cannot forge another identity.
         self.metrics.record_send(self.pid, payload)
-        self.outbox.append((dest, payload))
-        if self.observer is not None:
-            self.observer.message("send", self.pid, payload)
+        if self.observer is None:
+            self.outbox.append((dest, payload))
+        else:
+            mid = self.stamper.stamp(self.pid)
+            self.observer.message("send", self.pid, payload, mid=mid)
+            self.outbox.append((dest, Stamped(mid, payload)))
 
     def now(self) -> float:
         """Wall-clock seconds since this node booted (measurement only)."""
@@ -157,6 +168,9 @@ class Node:
         #: the WAL is always a superset of the applied state — the
         #: invariant crash recovery replays against (docs/recovery.md).
         self.wal: Optional[Any] = None
+        #: Optional :class:`~repro.obs.profile.SpanProfiler` timing the
+        #: flush path and WAL appends (``profile: on``).
+        self.profiler: Optional[Any] = None
         self._proposals: Deque[Callable[[], None]] = deque()
 
     # -- cluster-side controls ------------------------------------------------
@@ -202,22 +216,32 @@ class Node:
         responses it provokes coalesce into batched frames themselves —
         the pipelining half of the throughput win.
         """
-        observer = self.network.observer
         if isinstance(payload, WireBatch):
             for message in payload.messages:
-                self.messages_delivered += 1
-                if self.wal is not None:
-                    self.wal.append_deliver(sender, message)
-                if observer is not None:
-                    observer.message("deliver", self.pid, message)
-                self.target.deliver(sender, message)
+                self._deliver_one(sender, message)
         else:
-            self.messages_delivered += 1
-            if self.wal is not None:
-                self.wal.append_deliver(sender, payload)
-            if observer is not None:
-                observer.message("deliver", self.pid, payload)
-            self.target.deliver(sender, payload)
+            self._deliver_one(sender, payload)
+
+    def _deliver_one(self, sender: ProcessId, message: Any) -> None:
+        # Strip the causal stamp before the WAL, the observer, and the
+        # target: replay and protocol state must be id-agnostic, and the
+        # deliver event carries the id that matches the sender's send.
+        mid: Optional[str] = None
+        if isinstance(message, Stamped):
+            mid, message = message.mid, message.payload
+        self.messages_delivered += 1
+        if self.wal is not None:
+            profiler = self.profiler
+            if profiler is None:
+                self.wal.append_deliver(sender, message)
+            else:
+                started = profiler.start()
+                self.wal.append_deliver(sender, message)
+                profiler.stop("wal_append", started)
+        observer = self.network.observer
+        if observer is not None:
+            observer.message("deliver", self.pid, message, mid=mid)
+        self.target.deliver(sender, message)
 
     async def _after_activation(self) -> None:
         self.activations += 1
@@ -230,6 +254,16 @@ class Node:
         queued = self.network.drain()
         if not queued:
             return
+        profiler = self.profiler
+        if profiler is None:
+            await self._flush(queued)
+        else:
+            started = profiler.start()
+            await self._flush(queued)
+            profiler.stop("node_flush", started)
+
+    async def _flush(self, queued: List[Tuple[ProcessId, Any]]) -> None:
+        """Map one pump iteration's outbox onto wire frames."""
         observer = self.network.observer
         if self.batch_mode == "off":
             for dest, payload in queued:

@@ -104,6 +104,10 @@ class TcpTransport(InboxTransport):
         self.accepted = 0
         self.rejected = 0
         self.dropped = 0
+        #: Optional :class:`~repro.obs.profile.SpanProfiler`: times the
+        #: per-frame codec+MAC work (span ``tcp_encode``) when the run
+        #: has ``profile: on``.
+        self.profiler: Optional[Any] = None
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -207,8 +211,7 @@ class TcpTransport(InboxTransport):
             verdict = self.policy.plan(self.pid, dest, self.clock.now())
             if verdict.dropped:
                 return
-            encoded = codec.encode(payload)
-            body = self._frame_body(dest, encoded)
+            body = self._encode_body(dest, payload)
             for delay in verdict.delays:
                 if delay <= 0:
                     await self._transmit(dest, body)
@@ -219,7 +222,17 @@ class TcpTransport(InboxTransport):
                     self._netem_tasks.add(task)
                     task.add_done_callback(self._netem_tasks.discard)
             return
-        await self._transmit(dest, self._frame_body(dest, codec.encode(payload)))
+        await self._transmit(dest, self._encode_body(dest, payload))
+
+    def _encode_body(self, dest: ProcessId, payload: Any) -> bytes:
+        """Codec + MAC for one frame, timed when a profiler is attached."""
+        profiler = self.profiler
+        if profiler is None:
+            return self._frame_body(dest, codec.encode(payload))
+        started = profiler.start()
+        body = self._frame_body(dest, codec.encode(payload))
+        profiler.stop("tcp_encode", started)
+        return body
 
     def _frame_body(self, dest: ProcessId, encoded: Any) -> bytes:
         mac = self._auth.tag(dest, codec.canonical(encoded))

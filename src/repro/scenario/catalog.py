@@ -240,7 +240,10 @@ _entry(Scenario(
                 "readable by `repro report`.",
     protocol="bracha", n=4, proposals=1, fabric="local", seed=43,
     partitions=[{"start": 0.0, "stop": 0.25, "groups": [[0, 1], [2, 3]]}],
-    observe="jsonl:benchmarks/out/partition-heal.jsonl",
+    # Parentless path (cwd-relative): observe validates jsonl parents at
+    # Scenario construction, and the catalog is built at import time —
+    # naming a directory here would make a fresh checkout unimportable.
+    observe="jsonl:partition-heal-trace.jsonl",
 ))
 
 

@@ -34,7 +34,7 @@ from ..analysis.experiments import (
     verify_instance_outcomes,
     verify_outcome,
 )
-from ..obs import MetricsRegistry, Observer, build_observer
+from ..obs import MetricsRegistry, Observer, build_observer, build_profiler
 from ..recovery.restart import RestartBehavior
 from ..sim.process import Process
 from ..sim.rng import derive_seed
@@ -120,6 +120,7 @@ def _run_sim(
     if observer is not None:
         observer.bind_clock(lambda: sim.now)
         sim.network.observer = observer
+    sim.profiler = build_profiler(scenario.profile, registry)
     # First-Decide virtual time per node, captured the moment the effect
     # applies — richer than stamping every decision with the end time.
     decide_times: Dict[ProcessId, float] = {}
@@ -356,6 +357,7 @@ def _run_runtime(
         batching=scenario.batching,
         observer=observer,
         recovery=scenario.recovery,
+        profile=scenario.profile,
     )
 
 

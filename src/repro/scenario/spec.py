@@ -32,7 +32,7 @@ from ..analysis.experiments import normalize_proposals
 from ..baselines.harness import DEFAULT_COIN
 from ..errors import ConfigError
 from ..netem import NetemConfig
-from ..obs import OBSERVE_MODES, parse_observe
+from ..obs import OBSERVE_MODES, PROFILE_MODES, parse_observe, parse_profile
 from ..params import ProtocolParams, for_system
 from ..recovery.wal import RECOVERY_MODES, parse_recovery
 from ..sim.effects import BATCHING_MODES, parse_batching
@@ -300,6 +300,14 @@ class Scenario:
             newest N events, attached to ``meta["obs_events"]``), or
             ``jsonl``/``jsonl:PATH`` (JSONL trace file readable by
             ``repro report``); see docs/observability.md.
+        profile: hot-path span profiling — ``off`` (default, hot paths
+            pay one ``None`` check) or ``on`` (wall-clock span timers
+            recorded into the run's metrics histograms as ``span_*``
+            entries, rendered by ``repro profile``).  Profiling never
+            touches virtual time, the rng, or the event stream, so a
+            fixed-seed sim run stays bit-identical.  Not available on
+            ``mp`` (node-side registries stay in the node processes);
+            see docs/observability.md.
         recovery: crash-recovery WAL logging on the runtime fabrics —
             ``off`` (default), ``wal`` (per-node write-ahead logs in a
             run-scoped scratch directory), or ``wal:DIR`` (logs kept in
@@ -326,6 +334,7 @@ class Scenario:
     instances: int = 1
     batching: str = "off"
     observe: str = "off"
+    profile: str = "off"
     recovery: str = "off"
     seed: int = 0
     stop: str = "decided"
@@ -361,6 +370,13 @@ class Scenario:
             )
         parse_batching(self.batching)  # validates off | flush | size:N
         parse_observe(self.observe)  # validates off | ring[:N] | jsonl[:PATH]
+        if parse_profile(self.profile) != "off" and self.fabric == "mp":
+            raise ConfigError(
+                "span profiling ('profile: on') is not available on the "
+                "'mp' fabric: each node process keeps its own metrics "
+                "registry and only events travel back to the orchestrator "
+                "— profile on 'sim', 'local', or 'tcp' instead"
+            )
         if self.instances > 1 and self.protocol not in ("bracha", "benor"):
             raise ConfigError(
                 f"multiple instances are not supported for {self.protocol!r}"
@@ -624,6 +640,7 @@ __all__ = [
     "FABRICS",
     "FAULT_KIND_FABRICS",
     "OBSERVE_MODES",
+    "PROFILE_MODES",
     "RECOVERY_MODES",
     "SCHEDULERS",
     "STOPS",

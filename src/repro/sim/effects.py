@@ -30,7 +30,7 @@ proves this for every protocol).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..errors import ConfigError
 from ..types import ProcessId
@@ -126,6 +126,57 @@ class Outbox:
         return f"<Outbox {len(self._effects)} buffered, {self.appended} total>"
 
 
+class CausalStamper:
+    """Per-sender sequence counters assigning stable causal message ids.
+
+    Every physical send leaving the effect boundary gets an id of the
+    form ``"<sender>:<seq>"`` (or ``"<sender>.<epoch>:<seq>"`` for a
+    restarted incarnation), assigned in the sender's own send order.
+    Because a correct process's send sequence is a pure function of the
+    seed and its delivery history, the ids are deterministic per fabric
+    and let ``send``/``deliver`` events be correlated into the causal
+    delivery DAG (:mod:`repro.obs.causality`).
+
+    The ``epoch`` distinguishes the incarnations of a crash-recovered
+    node: a respawned process restarts its counters, and without an
+    epoch its fresh sends would collide with ids the dead incarnation
+    already put on the wire.
+    """
+
+    __slots__ = ("epoch", "_seqs")
+
+    def __init__(self, epoch: int = 0) -> None:
+        self.epoch = int(epoch)
+        self._seqs: Dict[ProcessId, int] = {}
+
+    def stamp(self, sender: ProcessId) -> str:
+        """The next causal id for ``sender`` (ids start at ``:1``)."""
+        seq = self._seqs.get(sender, 0) + 1
+        self._seqs[sender] = seq
+        return format_mid(sender, seq, self.epoch)
+
+
+def format_mid(sender: ProcessId, seq: int, epoch: int = 0) -> str:
+    """Render a causal message id: ``"3:17"`` or ``"3.2:17"`` (epoch 2)."""
+    if epoch:
+        return f"{sender}.{epoch}:{seq}"
+    return f"{sender}:{seq}"
+
+
+def parse_mid(mid: str) -> Tuple[int, int, int]:
+    """Split a causal id back into ``(sender, epoch, seq)``.
+
+    Raises :class:`~repro.errors.ConfigError` on anything that is not a
+    well-formed id — trace analysis must fail loudly on corrupt input.
+    """
+    try:
+        who, seq_text = mid.split(":", 1)
+        sender_text, _, epoch_text = who.partition(".")
+        return (int(sender_text), int(epoch_text or 0), int(seq_text))
+    except (AttributeError, ValueError):
+        raise ConfigError(f"malformed causal message id {mid!r}") from None
+
+
 def parse_batching(spec: Any) -> Tuple[str, int]:
     """Validate a batching spec; return ``(mode, limit)``.
 
@@ -170,11 +221,14 @@ def parse_batching(spec: Any) -> Tuple[str, int]:
 __all__ = [
     "BATCHING_MODES",
     "Broadcast",
+    "CausalStamper",
     "Decide",
     "Effect",
     "FLUSH_BATCH_LIMIT",
     "Note",
     "Outbox",
     "Send",
+    "format_mid",
     "parse_batching",
+    "parse_mid",
 ]

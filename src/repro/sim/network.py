@@ -17,6 +17,7 @@ from typing import Any, Callable, Dict, Optional, Protocol
 
 from ..errors import SimulationError
 from ..types import Envelope, ProcessId
+from .effects import CausalStamper
 from .events import PendingSet
 from .metrics import Metrics
 from .rng import SplitRng
@@ -73,6 +74,12 @@ class Network:
         #: Optional structured-event hub (:class:`repro.obs.Observer`).
         #: One ``is not None`` check per send/deliver when disabled.
         self.observer: Optional[Any] = None
+        #: Causal message ids for send/deliver correlation.  Stamping
+        #: happens only under an observer; the uid side table carries
+        #: each in-flight message's id to its deliver event without the
+        #: envelope (or the protocol payload) ever changing shape.
+        self.stamper = CausalStamper()
+        self._mids: Dict[int, str] = {}
         self._uid = 0
         self._now_fn: Callable[[], float] = lambda: 0.0
         self._on_send: Optional[Callable[[Envelope], None]] = None
@@ -131,7 +138,11 @@ class Network:
         self.metrics.record_send(source, payload)
         self.trace.send(env.send_time, env)
         if self.observer is not None:
-            self.observer.message("send", source, payload, time=env.send_time)
+            mid = self.stamper.stamp(source)
+            self._mids[env.uid] = mid
+            self.observer.message(
+                "send", source, payload, time=env.send_time, mid=mid
+            )
         if self._on_send is not None:
             self._on_send(env)
 
@@ -141,7 +152,10 @@ class Network:
         self.metrics.record_delivery(env.dest, env.payload)
         self.trace.deliver(time, env)
         if self.observer is not None:
-            self.observer.message("deliver", env.dest, env.payload, time=time)
+            self.observer.message(
+                "deliver", env.dest, env.payload, time=time,
+                mid=self._mids.pop(env.uid, None),
+            )
         target = self.processes.get(env.dest)
         if target is not None:
             target.deliver(env.source, env.payload)

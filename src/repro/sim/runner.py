@@ -70,6 +70,13 @@ class Simulation:
         self.network.bind_send_hook(self.scheduler.on_send)
         self.now: float = 0.0
         self.steps: int = 0
+        #: Optional :class:`~repro.obs.profile.SpanProfiler` timing the
+        #: step loop (``sim_step``) and the deliver-plus-effects-drain
+        #: path (``sim_deliver``).  Profiling reads the wall clock into
+        #: the metrics registry only — virtual time, the rng, and the
+        #: event stream are untouched, so a profiled fixed-seed run
+        #: stays bit-identical to an unprofiled one.
+        self.profiler: Optional[object] = None
         self._started = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -86,6 +93,15 @@ class Simulation:
 
     def step(self) -> bool:
         """Deliver one message.  Returns False when nothing is in flight."""
+        profiler = self.profiler
+        if profiler is None:
+            return self._step()
+        started = profiler.start()
+        progressed = self._step()
+        profiler.stop("sim_step", started)
+        return progressed
+
+    def _step(self) -> bool:
         if not self.pending:
             return False
         choice = self.scheduler.choose()
@@ -102,7 +118,13 @@ class Simulation:
         self.now = max(self.now, time)
         self.steps += 1
         self.trace.advance_step()
-        self.network.deliver(env, self.now)
+        profiler = self.profiler
+        if profiler is None:
+            self.network.deliver(env, self.now)
+        else:
+            started = profiler.start()
+            self.network.deliver(env, self.now)
+            profiler.stop("sim_deliver", started)
         return True
 
     def run(

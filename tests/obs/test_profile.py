@@ -1,0 +1,153 @@
+"""Span profiling: validated selection, hot-path spans, zero distortion.
+
+The load-bearing guarantee: ``profile: on`` reads the wall clock into
+metrics histograms and nothing else — a fixed-seed simulator run with
+profiling produces a byte-identical JSONL event stream to the same run
+without it.  Everything the profiler learns travels on
+``RunResult.metrics`` as ``span_*`` histograms.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import MetricsRegistry
+from repro.obs.profile import (
+    PROFILE_MODES,
+    SPAN_PREFIX,
+    SpanProfiler,
+    build_profiler,
+    parse_profile,
+    render_profile,
+    span_summaries,
+)
+from repro.scenario import Scenario, run
+
+
+# ---------------------------------------------------------------------------
+# Selection and validation
+# ---------------------------------------------------------------------------
+
+
+def test_parse_profile_accepts_the_documented_modes():
+    assert parse_profile("off") == "off"
+    assert parse_profile(None) == "off"
+    assert parse_profile("on") == "on"
+    assert set(PROFILE_MODES) == {"off", "on"}
+
+
+@pytest.mark.parametrize("bad", ["ON", "yes", "spans", 1, True])
+def test_parse_profile_rejects_unknown_specs(bad):
+    with pytest.raises(ConfigError, match="profile"):
+        parse_profile(bad)
+
+
+def test_build_profiler_returns_none_when_off():
+    registry = MetricsRegistry()
+    assert build_profiler("off", registry) is None
+    assert isinstance(build_profiler("on", registry), SpanProfiler)
+
+
+def test_scenario_profile_field_round_trips():
+    scenario = Scenario(protocol="bracha", n=4, proposals=1, profile="on")
+    assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+
+def test_scenario_rejects_bad_profile_specs():
+    with pytest.raises(ConfigError, match="profile"):
+        Scenario(protocol="bracha", n=4, proposals=1, profile="maybe")
+
+
+def test_profile_is_rejected_on_the_mp_fabric():
+    with pytest.raises(ConfigError, match="mp"):
+        Scenario(protocol="bracha", n=4, proposals=1, fabric="mp",
+                 profile="on")
+
+
+# ---------------------------------------------------------------------------
+# The profiler itself
+# ---------------------------------------------------------------------------
+
+
+def test_span_profiler_records_elapsed_into_span_histograms():
+    ticks = iter([10.0, 10.25, 11.0, 11.5])
+    registry = MetricsRegistry()
+    profiler = SpanProfiler(registry, clock=lambda: next(ticks))
+    started = profiler.start()
+    profiler.stop("work", started)
+    with profiler.span("work"):
+        pass
+    summary = registry.snapshot().histograms[SPAN_PREFIX + "work"]
+    assert summary["count"] == 2
+    assert summary["max"] == pytest.approx(0.5)
+
+
+def test_span_summaries_strip_the_prefix_and_sort():
+    registry = MetricsRegistry()
+    registry.observe("span_b", 0.1)
+    registry.observe("span_a", 0.2)
+    registry.observe("decision_latency", 9.0)  # not a span
+    names = [name for name, _ in span_summaries(registry.snapshot())]
+    assert names == ["a", "b"]
+
+
+def test_render_profile_handles_empty_and_populated_snapshots():
+    assert "no span timings" in render_profile(None)
+    registry = MetricsRegistry()
+    registry.observe("span_sim_step", 0.001)
+    text = render_profile(registry.snapshot())
+    assert "sim_step" in text and "Hot-path span profile" in text
+
+
+# ---------------------------------------------------------------------------
+# Instrumented runs
+# ---------------------------------------------------------------------------
+
+
+def _spans(result):
+    return {
+        name[len(SPAN_PREFIX):]: summary
+        for name, summary in result.metrics.histograms.items()
+        if name.startswith(SPAN_PREFIX)
+    }
+
+
+def test_sim_run_records_step_and_deliver_spans():
+    result = run(Scenario(protocol="bracha", n=4, proposals=1, seed=21,
+                          profile="on"))
+    spans = _spans(result)
+    assert spans["sim_step"]["count"] > 0
+    assert spans["sim_deliver"]["count"] > 0
+    # Every delivery happens inside a step.
+    assert spans["sim_step"]["count"] >= spans["sim_deliver"]["count"]
+
+
+def test_unprofiled_runs_record_no_spans():
+    result = run(Scenario(protocol="bracha", n=4, proposals=1, seed=21))
+    assert _spans(result) == {}
+
+
+def test_local_run_records_flush_and_wal_spans():
+    result = run(Scenario(protocol="bracha", n=4, proposals=1, seed=21,
+                          fabric="local", profile="on", recovery="wal"))
+    spans = _spans(result)
+    assert spans["node_flush"]["count"] > 0
+    assert spans["wal_append"]["count"] > 0
+
+
+def test_tcp_run_records_encode_spans():
+    result = run(Scenario(protocol="bracha", n=4, proposals=1, seed=21,
+                          fabric="tcp", profile="on"))
+    spans = _spans(result)
+    assert spans["tcp_encode"]["count"] > 0
+    assert spans["node_flush"]["count"] > 0
+
+
+def test_profiled_sim_trace_is_byte_identical_to_unprofiled(tmp_path):
+    scenario = Scenario(protocol="bracha", n=4, proposals=1, seed=21)
+    traces = {}
+    for mode in ("off", "on"):
+        path = tmp_path / f"{mode}.jsonl"
+        run(scenario.replace(observe=f"jsonl:{path}", profile=mode))
+        traces[mode] = path.read_bytes()
+    assert traces["off"] == traces["on"]
+    assert traces["off"], "the trace must not be empty"
