@@ -37,7 +37,7 @@ Examples::
     python -m repro run examples/scenarios/split_brain.json
     python -m repro run --name two-faced-equivocator --fabric tcp
     python -m repro run --name partition-heal && \\
-        python -m repro trace partition-heal-trace.jsonl
+        python -m repro trace benchmarks/out/partition-heal-trace.jsonl
     python -m repro profile --name batched-pipeline
     python -m repro catalog
     python -m repro consensus -n 7 --faults 5:two_faced 6:silent --seed 3
@@ -94,6 +94,8 @@ def _print_result(scenario: Scenario, result: Any) -> None:
     print(f"protocol  : {scenario.protocol} (coin: {scenario.coin_name}, "
           f"instances: {scenario.instances})")
     print(f"faults    : {scenario.faults_dict() or 'none'}")
+    if scenario.codec != "json":
+        print(f"codec     : {scenario.codec}")
     if scenario.scheduler != "random":
         print(f"scheduler : {scenario.scheduler} {scenario.scheduler_args_dict()}")
     if scenario.link or scenario.partitions:
@@ -307,6 +309,7 @@ def cmd_run_net(args: argparse.Namespace) -> int:
         seed=args.seed,
         instances=args.instances,
         batching=args.batching,
+        codec=args.codec,
         host=args.host,
         base_port=args.base_port,
         timeout=args.timeout,
@@ -553,6 +556,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="e.g. 3:silent 2:two_faced")
     run_net.add_argument("--instances", type=int, default=1,
                          help="parallel consensus instances per node")
+    run_net.add_argument("--codec", choices=["json", "binary"], default="json",
+                         help="wire codec for the runtime fabrics "
+                              "(binary: compact struct-packed frames)")
     run_net.add_argument("--batching", default="off", metavar="MODE",
                          help="wire-frame coalescing: off, flush, or size:N "
                               "(one MAC'd frame carries every message queued "

@@ -95,6 +95,32 @@ class Authenticator:
         expected = hmac.new(key, message, hashlib.sha256).digest()
         return hmac.compare_digest(expected, tag)
 
+    def tag_bytes(self, dest: ProcessId, payload: "bytes | memoryview") -> bytes:
+        """MAC tag over raw payload bytes (the binary wire codec's path).
+
+        Same src→dst binding prefix as :meth:`tag`, but the payload is
+        fed to the HMAC directly — a :class:`memoryview` is hashed in
+        place, so the transports' zero-copy receive path never has to
+        materialize the frame body to authenticate it.
+        """
+        key = self._keys.get(dest)
+        if key is None:
+            raise AuthenticationError(f"p{self.pid} has no key for p{dest}")
+        mac = hmac.new(key, f"{self.pid}>{dest}|".encode(), hashlib.sha256)
+        mac.update(payload)
+        return mac.digest()
+
+    def verify_bytes(
+        self, source: ProcessId, payload: "bytes | memoryview", tag: "bytes | memoryview"
+    ) -> bool:
+        """Check a :meth:`tag_bytes`-style tag on raw payload bytes."""
+        key = self._keys.get(source)
+        if key is None:
+            return False
+        mac = hmac.new(key, f"{source}>{self.pid}|".encode(), hashlib.sha256)
+        mac.update(payload)
+        return hmac.compare_digest(mac.digest(), bytes(tag))
+
     def require(self, source: ProcessId, payload: object, tag: bytes) -> None:
         """Like :meth:`verify` but raises :class:`AuthenticationError`."""
         if not self.verify(source, payload, tag):

@@ -37,7 +37,8 @@ independent of how many protocol messages ride inside.
 from __future__ import annotations
 
 import asyncio
-from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Set, Tuple
+import heapq
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..types import ProcessId
 from .clock import Clock
@@ -52,14 +53,20 @@ if TYPE_CHECKING:
 
 
 class _Pending:
-    """Book-keeping for one unacknowledged frame."""
+    """Book-keeping for one unacknowledged frame.
 
-    __slots__ = ("frame", "sent_at", "retries")
+    ``due`` is the next instant the retransmission wheel should look at
+    this frame; a heap record whose due time disagrees with the entry's
+    is stale (the frame was resent or paused meanwhile) and is skipped.
+    """
 
-    def __init__(self, frame: LinkFrame, sent_at: float):
+    __slots__ = ("frame", "sent_at", "retries", "due")
+
+    def __init__(self, frame: LinkFrame, sent_at: float, due: float):
         self.frame = frame
         self.sent_at = sent_at
         self.retries = 0
+        self.due = due
 
 
 class _SeenWindow:
@@ -128,6 +135,12 @@ class ReliableLink:
         self.seq_base = seq_base
         self._next_seq: Dict[ProcessId, int] = {}
         self._pending: Dict[Tuple[ProcessId, int], _Pending] = {}
+        # Timer wheel: a heap of (due, dest, seq) records with lazy
+        # deletion — acks only remove the _pending entry, and a resend
+        # pushes a fresh record rather than resorting.  The scan pops
+        # only what is due, O(due · log P) instead of the old full
+        # sorted sweep's O(P log P) per tick.
+        self._heap: List[Tuple[float, ProcessId, int]] = []
         self._seen: Dict[ProcessId, _SeenWindow] = {}
         self._scan_task: Optional[asyncio.Task] = None
         self._closed = False
@@ -173,6 +186,7 @@ class ReliableLink:
                 pass
             self._scan_task = None
         self._pending.clear()
+        self._heap.clear()
         await self.inner.close()
 
     # -- data plane ----------------------------------------------------------
@@ -188,7 +202,9 @@ class ReliableLink:
         seq = self._next_seq.get(dest, self.seq_base)
         self._next_seq[dest] = seq + 1
         frame = LinkFrame(seq, payload)
-        self._pending[(dest, seq)] = _Pending(frame, self.clock.now())
+        now = self.clock.now()
+        self._pending[(dest, seq)] = _Pending(frame, now, now + self.rto)
+        heapq.heappush(self._heap, (now + self.rto, dest, seq))
         await self.inner.send(dest, frame)
 
     async def recv(self) -> Tuple[ProcessId, Any]:
@@ -217,49 +233,73 @@ class ReliableLink:
 
     # -- the retransmission scan ---------------------------------------------
 
+    def _collect_due(self, now: float) -> List[Tuple[ProcessId, _Pending]]:
+        """Pop every frame whose resend is due; return what to retransmit.
+
+        Synchronous on purpose: the scan tick's cost is exactly this
+        call (heap pops plus lazy-deletion skips), so the benchmark can
+        measure it without an event loop.  Counters, abandonment, and
+        observer events happen here; the caller only awaits the sends.
+        """
+        heap = self._heap
+        pending = self._pending
+        resend: List[Tuple[ProcessId, _Pending]] = []
+        while heap and heap[0][0] <= now:
+            due, dest, seq = heapq.heappop(heap)
+            entry = pending.get((dest, seq))
+            if entry is None or entry.due != due:
+                continue  # acked, abandoned, or rescheduled meanwhile
+            if self._severed is not None and self._severed(dest, now):
+                # Wait out the partition for free: resends pause and the
+                # retry budget is not charged — the budget exists for
+                # peers that never answer, not for windows the scenario
+                # promised would close.
+                entry.sent_at = now
+                entry.due = now + self.rto * (1 << min(entry.retries, 3))
+                heapq.heappush(heap, (entry.due, dest, seq))
+                continue
+            if entry.retries >= self.max_retries:
+                pending.pop((dest, seq), None)
+                self.abandoned += 1
+                if self.observer is not None:
+                    self.observer.emit(
+                        "abandon", node=self.pid,
+                        detail={"dest": dest, "seq": seq,
+                                "retries": entry.retries},
+                    )
+                continue
+            # Exponential backoff (capped at 8x rto): an ack that is
+            # merely slow — a busy receiver drains a deep inbox before
+            # acking — must not burn the retry budget the way a
+            # genuinely dead link does.
+            entry.retries += 1
+            entry.sent_at = now
+            entry.due = now + self.rto * (1 << min(entry.retries, 3))
+            heapq.heappush(heap, (entry.due, dest, seq))
+            self.retransmitted += 1
+            self.retransmitted_by_dest[dest] = (
+                self.retransmitted_by_dest.get(dest, 0) + 1
+            )
+            if self.observer is not None:
+                self.observer.emit(
+                    "retransmit", node=self.pid,
+                    detail={"dest": dest, "seq": seq,
+                            "retry": entry.retries},
+                )
+            resend.append((dest, entry))
+        return resend
+
     async def _scan_loop(self) -> None:
         while not self._closed:
             await self.clock.sleep(self.rto)
             if self._closed:
                 return
-            now = self.clock.now()
-            # Snapshot: recv() may ack entries away while we await sends.
-            for key, entry in sorted(self._pending.items()):
-                # Exponential backoff (capped at 8x rto): an ack that is
-                # merely slow — a busy receiver drains a deep inbox
-                # before acking — must not burn the retry budget the way
-                # a genuinely dead link does.
-                overdue = self.rto * (1 << min(entry.retries, 3))
-                if now - entry.sent_at < overdue:
-                    continue
-                if self._pending.get(key) is not entry:
-                    continue  # acked meanwhile
-                if self._severed is not None and self._severed(key[0], now):
-                    entry.sent_at = now  # wait out the partition for free
-                    continue
-                if entry.retries >= self.max_retries:
-                    self._pending.pop(key, None)
-                    self.abandoned += 1
-                    if self.observer is not None:
-                        self.observer.emit(
-                            "abandon", node=self.pid,
-                            detail={"dest": key[0], "seq": key[1],
-                                    "retries": entry.retries},
-                        )
-                    continue
-                entry.retries += 1
-                entry.sent_at = now
-                self.retransmitted += 1
-                dest = key[0]
-                self.retransmitted_by_dest[dest] = (
-                    self.retransmitted_by_dest.get(dest, 0) + 1
-                )
-                if self.observer is not None:
-                    self.observer.emit(
-                        "retransmit", node=self.pid,
-                        detail={"dest": dest, "seq": key[1],
-                                "retry": entry.retries},
-                    )
+            for dest, entry in self._collect_due(self.clock.now()):
+                if self._closed:
+                    return
+                # The entry may have been acked while we awaited an
+                # earlier send; a redundant resend is harmless (the
+                # receiver's window filters it) and rare.
                 await self.inner.send(dest, entry.frame)
 
     # -- inspection ----------------------------------------------------------

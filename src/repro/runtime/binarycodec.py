@@ -1,0 +1,371 @@
+"""Compact binary wire codec for protocol messages.
+
+The tagged-JSON codec (:mod:`repro.runtime.codec`) is the readable
+reference wire format, but it pays for that readability on every frame:
+field names travel with every message, bytes ride as hex text, and the
+canonical form is serialized with ``json.dumps(sort_keys=True)``.  This
+module is the fast path the ``codec: binary`` scenario field selects —
+a msgpack-style value encoding over the *same* message/enum registries:
+
+* one type-tag byte per value;
+* ints as zigzag LEB128 varints (seqs, pids, rounds are tiny on the
+  wire), with an arbitrary-precision escape for field elements beyond
+  64 bits;
+* strings and bytes length-prefixed — bytes travel raw, not hex;
+* registered dataclasses as a varint *registry id* plus their field
+  values in declaration order — field names never touch the wire;
+* registered enums as a registry id plus the member name.
+
+Registry ids are the rank of the class name in the sorted registry, so
+both peers derive the same table from the same registrations without a
+handshake; the transport's wire-format version byte
+(:data:`repro.runtime.tcp.WIRE_VERSION`) guards against skew.
+
+Decoding never trusts the input: every length is checked against the
+remaining buffer, varints are capped at 10 bytes, unknown tags and
+registry ids raise, and message constructors re-run their validation —
+all failure modes surface as :class:`~repro.runtime.codec.CodecError`,
+exactly like the JSON codec, so transports drop garbage identically.
+Decoding reads from a :class:`memoryview` and only materializes the
+leaf values, which is what makes the TCP receive path zero-copy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import struct
+from typing import Any, Dict, List, Tuple, Type
+
+from . import codec
+from .codec import CodecError
+
+__all__ = ["dumps", "loads", "registry_tables"]
+
+# Type tags (one byte on the wire).
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03      # zigzag LEB128 varint
+_T_BIGINT = 0x04   # sign byte + varint length + big-endian magnitude
+_T_FLOAT = 0x05    # IEEE-754 double, big-endian
+_T_STR = 0x06      # varint length + UTF-8
+_T_BYTES = 0x07    # varint length + raw bytes
+_T_TUPLE = 0x08    # varint count + items
+_T_LIST = 0x09     # varint count + items
+_T_DICT = 0x0A     # varint count + (untagged key, value) pairs, sorted keys
+_T_ENUM = 0x0B     # varint enum id + untagged member-name string
+_T_MSG = 0x0C      # varint message id + field values in declaration order
+
+_DOUBLE = struct.Struct(">d")
+
+#: Largest zigzag-encodable magnitude; wider ints take the bigint form.
+_INT64_MAX = (1 << 63) - 1
+_INT64_MIN = -(1 << 63)
+
+#: LEB128 continuation cap: 10 bytes cover 70 bits, enough for any
+#: zigzagged 64-bit value; an 11th continuation byte is an attack.
+_VARINT_MAX_BYTES = 10
+
+
+# -- registry id tables ------------------------------------------------------
+#
+# Both sides assign ids by sorted class name over the shared codec
+# registries.  The tables are cached and rebuilt whenever a registration
+# is added (protocols may register message types after import).
+
+_tables_key: Tuple[int, int] = (-1, -1)
+_msg_ids: Dict[Type[Any], Tuple[int, Tuple[str, ...]]] = {}
+_msg_types: List[Tuple[Type[Any], Tuple[str, ...]]] = []
+_enum_ids: Dict[Type[enum.Enum], int] = {}
+_enum_types: List[Type[enum.Enum]] = []
+
+
+def registry_tables() -> Tuple[
+    Dict[Type[Any], Tuple[int, Tuple[str, ...]]],
+    List[Tuple[Type[Any], Tuple[str, ...]]],
+    Dict[Type[enum.Enum], int],
+    List[Type[enum.Enum]],
+]:
+    """The (message-id, message-type, enum-id, enum-type) tables, current
+    as of the codec registries right now."""
+    global _tables_key, _msg_ids, _msg_types, _enum_ids, _enum_types
+    key = (len(codec._MESSAGES), len(codec._ENUMS))
+    if key != _tables_key:
+        msg_types: List[Tuple[Type[Any], Tuple[str, ...]]] = []
+        msg_ids: Dict[Type[Any], Tuple[int, Tuple[str, ...]]] = {}
+        for index, name in enumerate(sorted(codec._MESSAGES)):
+            cls = codec._MESSAGES[name]
+            fields = tuple(f.name for f in dataclasses.fields(cls))
+            msg_types.append((cls, fields))
+            msg_ids[cls] = (index, fields)
+        enum_types: List[Type[enum.Enum]] = []
+        enum_ids: Dict[Type[enum.Enum], int] = {}
+        for index, name in enumerate(sorted(codec._ENUMS)):
+            cls = codec._ENUMS[name]
+            enum_types.append(cls)
+            enum_ids[cls] = index
+        _msg_ids, _msg_types = msg_ids, msg_types
+        _enum_ids, _enum_types = enum_ids, enum_types
+        _tables_key = key
+    return _msg_ids, _msg_types, _enum_ids, _enum_types
+
+
+# -- encoding ----------------------------------------------------------------
+
+
+def _pack_varint(out: bytearray, value: int) -> None:
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _pack(out: bytearray, obj: Any,
+          msg_ids: Dict[Type[Any], Tuple[int, Tuple[str, ...]]],
+          enum_ids: Dict[Type[enum.Enum], int]) -> None:
+    # Dispatch order mirrors codec.encode: enums before ints (IntEnum
+    # members *are* ints and must keep their identity), bools before
+    # ints (bool is an int subclass), dataclasses before dicts.
+    cls = obj.__class__
+    entry = msg_ids.get(cls)
+    if entry is not None:
+        msg_id, fields = entry
+        out.append(_T_MSG)
+        _pack_varint(out, msg_id)
+        for name in fields:
+            _pack(out, getattr(obj, name), msg_ids, enum_ids)
+        return
+    if cls is int:
+        if _INT64_MIN <= obj <= _INT64_MAX:
+            out.append(_T_INT)
+            _pack_varint(out, (obj << 1) ^ (obj >> 63) if obj < 0 else obj << 1)
+        else:
+            magnitude = obj if obj >= 0 else -obj
+            raw = magnitude.to_bytes((magnitude.bit_length() + 7) // 8, "big")
+            out.append(_T_BIGINT)
+            out.append(1 if obj < 0 else 0)
+            _pack_varint(out, len(raw))
+            out += raw
+        return
+    if cls is str:
+        raw = obj.encode("utf-8")
+        out.append(_T_STR)
+        _pack_varint(out, len(raw))
+        out += raw
+        return
+    if cls is tuple:
+        out.append(_T_TUPLE)
+        _pack_varint(out, len(obj))
+        for item in obj:
+            _pack(out, item, msg_ids, enum_ids)
+        return
+    if obj is None:
+        out.append(_T_NONE)
+        return
+    if obj is True:
+        out.append(_T_TRUE)
+        return
+    if obj is False:
+        out.append(_T_FALSE)
+        return
+    if cls is float:
+        out.append(_T_FLOAT)
+        out += _DOUBLE.pack(obj)
+        return
+    if cls is bytes or cls is bytearray:
+        out.append(_T_BYTES)
+        _pack_varint(out, len(obj))
+        out += obj
+        return
+    if cls is list:
+        out.append(_T_LIST)
+        _pack_varint(out, len(obj))
+        for item in obj:
+            _pack(out, item, msg_ids, enum_ids)
+        return
+    if cls is dict:
+        if any(not isinstance(k, str) for k in obj):
+            raise CodecError("only string-keyed dicts are encodable")
+        out.append(_T_DICT)
+        _pack_varint(out, len(obj))
+        for key in sorted(obj):
+            raw = key.encode("utf-8")
+            _pack_varint(out, len(raw))
+            out += raw
+            _pack(out, obj[key], msg_ids, enum_ids)
+        return
+    enum_id = enum_ids.get(cls)
+    if enum_id is not None:
+        out.append(_T_ENUM)
+        _pack_varint(out, enum_id)
+        raw = obj.name.encode("utf-8")
+        _pack_varint(out, len(raw))
+        out += raw
+        return
+    # Slow path: subclasses of the scalar types, plus the loud failures.
+    if isinstance(obj, enum.Enum):
+        raise CodecError(
+            f"enum {cls.__name__!r} is not registered for the wire"
+        )
+    if isinstance(obj, bool):
+        out.append(_T_TRUE if obj else _T_FALSE)
+        return
+    if isinstance(obj, int):
+        _pack(out, int(obj), msg_ids, enum_ids)
+        return
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        raise CodecError(
+            f"message type {cls.__name__!r} is not registered for the wire"
+        )
+    raise CodecError(f"cannot encode {cls.__name__}: {obj!r}")
+
+
+def dumps(obj: Any) -> bytes:
+    """Encode a payload to compact binary bytes."""
+    msg_ids, _, enum_ids, _ = registry_tables()
+    out = bytearray()
+    _pack(out, obj, msg_ids, enum_ids)
+    return bytes(out)
+
+
+# -- decoding ----------------------------------------------------------------
+
+
+def _unpack_varint(buf: memoryview, pos: int, end: int) -> Tuple[int, int]:
+    value = 0
+    shift = 0
+    for count in range(_VARINT_MAX_BYTES):
+        if pos >= end:
+            raise CodecError("truncated varint")
+        byte = buf[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+    raise CodecError("over-length varint (more than 10 bytes)")
+
+
+def _unpack(buf: memoryview, pos: int, end: int,
+            msg_types: List[Tuple[Type[Any], Tuple[str, ...]]],
+            enum_types: List[Type[enum.Enum]]) -> Tuple[Any, int]:
+    if pos >= end:
+        raise CodecError("truncated frame: expected a value tag")
+    tag = buf[pos]
+    pos += 1
+    if tag == _T_MSG:
+        msg_id, pos = _unpack_varint(buf, pos, end)
+        if msg_id >= len(msg_types):
+            raise CodecError(f"unknown message id {msg_id}")
+        cls, fields = msg_types[msg_id]
+        values = []
+        for _ in fields:
+            value, pos = _unpack(buf, pos, end, msg_types, enum_types)
+            values.append(value)
+        try:
+            return cls(*values), pos
+        except CodecError:
+            raise
+        except Exception as exc:  # constructor validation rejected it
+            raise CodecError(
+                f"rejected {cls.__name__} payload: {exc}"
+            ) from exc
+    if tag == _T_INT:
+        raw, pos = _unpack_varint(buf, pos, end)
+        return (raw >> 1) ^ -(raw & 1), pos
+    if tag == _T_STR:
+        length, pos = _unpack_varint(buf, pos, end)
+        if pos + length > end:
+            raise CodecError("truncated string")
+        try:
+            return str(buf[pos:pos + length], "utf-8"), pos + length
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"bad UTF-8 in string: {exc}") from exc
+    if tag == _T_TUPLE or tag == _T_LIST:
+        count, pos = _unpack_varint(buf, pos, end)
+        if count > end - pos:  # every item needs at least one byte
+            raise CodecError("container count exceeds frame size")
+        items = []
+        for _ in range(count):
+            value, pos = _unpack(buf, pos, end, msg_types, enum_types)
+            items.append(value)
+        return (tuple(items) if tag == _T_TUPLE else items), pos
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_FLOAT:
+        if pos + 8 > end:
+            raise CodecError("truncated float")
+        return _DOUBLE.unpack_from(buf, pos)[0], pos + 8
+    if tag == _T_BYTES:
+        length, pos = _unpack_varint(buf, pos, end)
+        if pos + length > end:
+            raise CodecError("truncated bytes")
+        return bytes(buf[pos:pos + length]), pos + length
+    if tag == _T_DICT:
+        count, pos = _unpack_varint(buf, pos, end)
+        if count > end - pos:
+            raise CodecError("container count exceeds frame size")
+        table: Dict[str, Any] = {}
+        for _ in range(count):
+            length, pos = _unpack_varint(buf, pos, end)
+            if pos + length > end:
+                raise CodecError("truncated dict key")
+            try:
+                key = str(buf[pos:pos + length], "utf-8")
+            except UnicodeDecodeError as exc:
+                raise CodecError(f"bad UTF-8 in dict key: {exc}") from exc
+            pos += length
+            table[key], pos = _unpack(buf, pos, end, msg_types, enum_types)
+        return table, pos
+    if tag == _T_ENUM:
+        enum_id, pos = _unpack_varint(buf, pos, end)
+        if enum_id >= len(enum_types):
+            raise CodecError(f"unknown enum id {enum_id}")
+        length, pos = _unpack_varint(buf, pos, end)
+        if pos + length > end:
+            raise CodecError("truncated enum member name")
+        try:
+            name = str(buf[pos:pos + length], "utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"bad UTF-8 in enum member: {exc}") from exc
+        try:
+            return enum_types[enum_id][name], pos + length
+        except KeyError:
+            raise CodecError(
+                f"unknown member {name!r} of enum "
+                f"{enum_types[enum_id].__name__}"
+            ) from None
+    if tag == _T_BIGINT:
+        if pos >= end:
+            raise CodecError("truncated bigint sign")
+        sign = buf[pos]
+        if sign > 1:
+            raise CodecError(f"bad bigint sign byte {sign}")
+        pos += 1
+        length, pos = _unpack_varint(buf, pos, end)
+        if pos + length > end:
+            raise CodecError("truncated bigint")
+        value = int.from_bytes(buf[pos:pos + length], "big")
+        return (-value if sign else value), pos + length
+    raise CodecError(f"unknown type tag 0x{tag:02x}")
+
+
+def loads(raw: Any) -> Any:
+    """Decode binary bytes (or a memoryview) back into a payload.
+
+    A :class:`memoryview` input is decoded in place — container
+    structure and scalars materialize, the buffer is never copied.
+    """
+    buf = raw if isinstance(raw, memoryview) else memoryview(raw)
+    _, msg_types, _, enum_types = registry_tables()
+    value, pos = _unpack(buf, 0, len(buf), msg_types, enum_types)
+    if pos != len(buf):
+        raise CodecError(
+            f"{len(buf) - pos} trailing bytes after the decoded value"
+        )
+    return value

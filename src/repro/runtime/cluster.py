@@ -57,6 +57,7 @@ from ..sim.effects import parse_batching
 from ..sim.process import Process
 from ..stacks import PROTOCOLS, ProtocolPlan, build_plan_behavior
 from ..types import Decision, ProcessId, RunResult
+from .codec import WIRE_CODECS
 from .node import Node, NodeNetwork
 from .tcp import TcpTransport
 from .transport import LocalHub, Transport
@@ -99,6 +100,7 @@ class Cluster:
         observer: Optional[Observer] = None,
         recovery: str = "off",
         profile: str = "off",
+        codec: str = "json",
     ):
         self.params = for_system(n, t)
         self.protocol = protocol
@@ -109,7 +111,15 @@ class Cluster:
         parse_batching(batching)  # validate early; nodes parse again
         self.host = host
         self.base_port = base_port
-        self.codec_check = codec_check
+        if codec not in WIRE_CODECS:
+            raise ConfigError(
+                f"unknown wire codec {codec!r}; choose from {list(WIRE_CODECS)}"
+            )
+        self.codec = codec
+        # The local fabric has no sockets; a binary-codec run round-trips
+        # every payload through the binary wire format instead, so the
+        # codec selection is exercised (not ignored) in-process too.
+        self.codec_check = codec_check or codec == "binary"
         self.faults = dict(faults or {})
         for pid in self.faults:
             if not 0 <= pid < n:
@@ -253,7 +263,7 @@ class Cluster:
         if self.transport_kind == "local":
             self._hub = LocalHub(
                 n, codec_check=self.codec_check,
-                policy=self._policy, clock=self._clock,
+                policy=self._policy, clock=self._clock, wire=self.codec,
             )
             self.transports = {pid: self._hub.endpoint(pid) for pid in range(n)}
         else:
@@ -263,7 +273,7 @@ class Cluster:
                 port = 0 if self.base_port == 0 else self.base_port + pid
                 endpoints[pid] = TcpTransport(
                     pid, n, ring, host=self.host, port=port,
-                    policy=self._policy, clock=self._clock,
+                    policy=self._policy, clock=self._clock, wire=self.codec,
                 )
                 endpoints[pid].profiler = self.profiler
             for t in endpoints.values():
@@ -462,6 +472,7 @@ class Cluster:
         result.meta["protocol"] = self.protocol
         result.meta["instances"] = self.instances
         result.meta["batching"] = self.batching
+        result.meta["codec"] = self.codec
         if self.recovery_mode == "wal":
             result.meta["recovery"] = {"mode": "wal", "dir": self.wal_dir}
             self.registry.count(

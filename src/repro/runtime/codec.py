@@ -36,7 +36,9 @@ from ..errors import ReproError
 
 __all__ = [
     "CodecError",
+    "CodecMismatchError",
     "Stamped",
+    "WIRE_CODECS",
     "WireBatch",
     "register_message",
     "encode",
@@ -50,6 +52,23 @@ __all__ = [
 class CodecError(ReproError):
     """A payload cannot be encoded, or a frame cannot be decoded."""
 
+
+class CodecMismatchError(CodecError):
+    """An authenticated peer is speaking the *other* wire codec.
+
+    Raised out of a node's ``recv`` loop when a frame fails to match the
+    local wire format but authenticates perfectly under the other codec:
+    that is not Byzantine garbage (garbage cannot forge a MAC), it is a
+    misconfigured cluster — the run must fail loudly, naming the
+    ``codec`` scenario field, instead of silently dropping every frame
+    until the liveness timeout.
+    """
+
+
+#: The wire codecs a scenario may select (the ``codec`` field): the
+#: tagged-JSON reference format and the compact binary fast path
+#: (:mod:`repro.runtime.binarycodec`).
+WIRE_CODECS = ("json", "binary")
 
 #: name -> class for dataclasses allowed on the wire.
 _MESSAGES: Dict[str, Type[Any]] = {}

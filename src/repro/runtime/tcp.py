@@ -1,22 +1,45 @@
-"""Length-prefixed JSON over TCP, authenticated with pairwise MACs.
+"""Length-prefixed frames over TCP, authenticated with pairwise MACs.
 
-Wire format, one frame per protocol message::
+Two wire codecs share the 4-byte big-endian length prefix, selected by
+the ``codec`` scenario field (``wire=`` here).  The JSON format, one
+frame per protocol message::
 
     4 bytes big-endian length | JSON body
 
     body = {"src": <pid>, "dst": <pid>, "body": <codec-encoded payload>,
             "mac": "<hex HMAC-SHA256 tag>"}
 
+and the compact binary format (``wire="binary"``)::
+
+    4 bytes big-endian length | 0xB1 | version | >I src | >I dst
+    | 32-byte HMAC-SHA256 tag | binary body
+
+A JSON body always starts with ``{`` (0x7B) and a binary frame with the
+0xB1 magic, so the receive path dispatches on the first byte; the
+version byte pins the binary layout so a future format change (or a
+corrupted header) is rejected instead of misparsed.  Binary receive is
+zero-copy: the frame is sliced with :class:`memoryview`, the MAC is
+verified by feeding the body view straight to the HMAC, and
+:mod:`repro.runtime.binarycodec` decodes from the view — no
+intermediate ``bytes`` copies between the socket read and the decoded
+payload.
+
 The MAC comes from :mod:`repro.net.auth` — the same pairwise-key
 machinery the link-layer tests exercise — computed over the canonical
-JSON text of the encoded payload, with the key of the (claimed source,
-destination) pair.  The tag already binds source and destination (see
+JSON text of the encoded payload (JSON) or the raw body bytes (binary),
+with the key of the (claimed source, destination) pair.  The tag
+already binds source and destination (see
 :meth:`repro.net.auth.Authenticator.tag`), so a frame cannot be
 redirected to another link or claimed by another sender without
 detection.  Tampered, malformed, or misaddressed frames increment
 ``rejected`` and are dropped silently, which is precisely what the
 protocols' authenticated-link assumption permits a real network to do
-to garbage.
+to garbage.  One exception fails loudly instead of silently: a frame in
+the *other* codec that nevertheless carries a valid MAC is a correct
+peer on a mismatched ``codec`` setting (garbage cannot forge a MAC), so
+the transport surfaces :class:`~repro.runtime.codec.CodecMismatchError`
+through ``recv`` rather than dropping every frame until the liveness
+timeout expires.
 
 Duplicates are *not* filtered (there are no sequence numbers): Bracha's
 protocols are idempotent per (sender, message), a property the fuzzer
@@ -36,9 +59,10 @@ import struct
 from typing import TYPE_CHECKING, Any, Dict, Optional, Set, Tuple
 
 from ..errors import ReproError
-from ..net.auth import KeyRing
+from ..net.auth import Authenticator, KeyRing
 from ..types import ProcessId
-from . import codec
+from . import binarycodec, codec
+from .codec import CodecMismatchError, WIRE_CODECS
 from .transport import InboxTransport
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep the layer light
@@ -56,6 +80,39 @@ RECONNECT_COOLDOWN = 0.25
 
 _LEN = struct.Struct(">I")
 
+#: First byte of every binary frame; JSON bodies start with ``{`` (0x7B),
+#: so one byte disambiguates the two formats on the receive path.
+BINARY_MAGIC = 0xB1
+
+#: Binary wire-format version.  Bumped on any layout change; a frame
+#: with the wrong version byte is rejected outright — peers running
+#: different layouts must fail loudly, not misparse each other.
+WIRE_VERSION = 1
+
+_BIN_HEADER = struct.Struct(">BBII")  # magic, version, src, dst
+_MAC_LEN = 32  # HMAC-SHA256
+
+
+def encode_json_frame(auth: Authenticator, dest: ProcessId, payload: Any) -> bytes:
+    """One tagged-JSON wire frame body (codec pass + MAC), sans length prefix."""
+    encoded = codec.encode(payload)
+    mac = auth.tag(dest, codec.canonical(encoded))
+    return json.dumps(
+        {"src": auth.pid, "dst": dest, "body": encoded, "mac": mac.hex()},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def encode_binary_frame(auth: Authenticator, dest: ProcessId, payload: Any) -> bytes:
+    """One compact binary wire frame body (codec pass + MAC), sans length prefix."""
+    body = binarycodec.dumps(payload)
+    return (
+        _BIN_HEADER.pack(BINARY_MAGIC, WIRE_VERSION, auth.pid, dest)
+        + auth.tag_bytes(dest, body)
+        + body
+    )
+
 
 class TcpTransport(InboxTransport):
     """One node's authenticated TCP endpoint.
@@ -71,6 +128,10 @@ class TcpTransport(InboxTransport):
             the policy drops is never written, a delayed frame is
             written by a task sleeping on the clock (so later frames may
             genuinely overtake it on the wire).
+        wire: the frame codec — ``"json"`` (tagged JSON, the readable
+            reference format) or ``"binary"`` (compact binary fast
+            path); every node of a cluster must use the same one, and a
+            mismatch fails loudly (:class:`~repro.runtime.codec.CodecMismatchError`).
     """
 
     def __init__(
@@ -82,12 +143,18 @@ class TcpTransport(InboxTransport):
         port: int = 0,
         policy: Optional["LinkPolicy"] = None,
         clock: Optional["Clock"] = None,
+        wire: str = "json",
     ):
         super().__init__()
         if policy is not None and clock is None:
             raise ReproError("a transport with a link policy needs a clock")
+        if wire not in WIRE_CODECS:
+            raise ReproError(
+                f"unknown wire codec {wire!r}; choose from {list(WIRE_CODECS)}"
+            )
         self.pid = pid
         self.n = n
+        self.wire = wire
         self._auth = keyring.authenticator(pid)
         self._host = host
         self._port = port
@@ -205,7 +272,10 @@ class TcpTransport(InboxTransport):
             # own messages under the same wire constraints as everyone
             # else's.  It never touches the netem policy: a process's
             # channel to itself is not network.
-            self._push(self.pid, codec.loads(codec.dumps(payload)))
+            if self.wire == "binary":
+                self._push(self.pid, binarycodec.loads(binarycodec.dumps(payload)))
+            else:
+                self._push(self.pid, codec.loads(codec.dumps(payload)))
             return
         if self.policy is not None:
             verdict = self.policy.plan(self.pid, dest, self.clock.now())
@@ -226,21 +296,16 @@ class TcpTransport(InboxTransport):
 
     def _encode_body(self, dest: ProcessId, payload: Any) -> bytes:
         """Codec + MAC for one frame, timed when a profiler is attached."""
+        encode = (
+            encode_binary_frame if self.wire == "binary" else encode_json_frame
+        )
         profiler = self.profiler
         if profiler is None:
-            return self._frame_body(dest, codec.encode(payload))
+            return encode(self._auth, dest, payload)
         started = profiler.start()
-        body = self._frame_body(dest, codec.encode(payload))
+        body = encode(self._auth, dest, payload)
         profiler.stop("tcp_encode", started)
         return body
-
-    def _frame_body(self, dest: ProcessId, encoded: Any) -> bytes:
-        mac = self._auth.tag(dest, codec.canonical(encoded))
-        return json.dumps(
-            {"src": self.pid, "dst": dest, "body": encoded, "mac": mac.hex()},
-            sort_keys=True,
-            separators=(",", ":"),
-        ).encode("utf-8")
 
     async def _transmit(self, dest: ProcessId, body: bytes) -> None:
         # One writer task at a time per destination.  Netem delay tasks,
@@ -296,7 +361,27 @@ class TcpTransport(InboxTransport):
                 self._peer_tasks.discard(task)
 
     def _ingest(self, frame: bytes) -> None:
-        """Authenticate and decode one frame; drop it on any defect."""
+        """Authenticate and decode one frame; drop it on any defect.
+
+        The first byte picks the parser: ``{`` opens a JSON body, the
+        0xB1 magic a binary frame, anything else is garbage.  Both
+        parsers run regardless of this node's own ``wire`` setting —
+        an *authenticated* frame in the other codec is a codec
+        mismatch, surfaced loudly (see :meth:`_codec_mismatch`), while
+        unauthenticated frames of either shape are dropped silently.
+        """
+        if not frame:
+            self.rejected += 1
+            return
+        first = frame[0]
+        if first == 0x7B:  # "{"
+            self._ingest_json(frame)
+        elif first == BINARY_MAGIC:
+            self._ingest_binary(memoryview(frame))
+        else:
+            self.rejected += 1
+
+    def _ingest_json(self, frame: bytes) -> None:
         try:
             body = json.loads(frame.decode("utf-8"))
             src = body["src"]
@@ -314,6 +399,9 @@ class TcpTransport(InboxTransport):
         if not self._auth.verify(src, codec.canonical(encoded), mac):
             self.rejected += 1
             return
+        if self.wire != "json":
+            self._codec_mismatch(src, "json")
+            return
         try:
             payload = codec.decode(encoded)
         except (codec.CodecError, RecursionError):
@@ -322,5 +410,55 @@ class TcpTransport(InboxTransport):
         self.accepted += 1
         self._push(src, payload)
 
+    def _ingest_binary(self, frame: memoryview) -> None:
+        """Zero-copy binary ingest: header, MAC, and body are memoryview
+        slices of the one frame buffer; the HMAC is fed the body view and
+        the codec decodes from it — nothing is copied until the decoded
+        leaf values materialize."""
+        if len(frame) < _BIN_HEADER.size + _MAC_LEN + 1:
+            self.rejected += 1
+            return
+        _magic, version, src, dst = _BIN_HEADER.unpack_from(frame, 0)
+        if version != WIRE_VERSION:
+            self.rejected += 1
+            return
+        if not (0 <= src < self.n and dst == self.pid):
+            self.rejected += 1
+            return
+        mac = frame[_BIN_HEADER.size:_BIN_HEADER.size + _MAC_LEN]
+        body = frame[_BIN_HEADER.size + _MAC_LEN:]
+        if not self._auth.verify_bytes(src, body, mac):
+            self.rejected += 1
+            return
+        if self.wire != "binary":
+            self._codec_mismatch(src, "binary")
+            return
+        try:
+            payload = binarycodec.loads(body)
+        except (codec.CodecError, RecursionError):
+            self.rejected += 1
+            return
+        self.accepted += 1
+        self._push(src, payload)
 
-__all__ = ["MAX_FRAME", "TcpTransport"]
+    def _codec_mismatch(self, src: ProcessId, other: str) -> None:
+        """An authenticated frame arrived in the other wire codec: a
+        correct peer is misconfigured (garbage cannot forge a MAC).
+        Raise out of the node's recv loop instead of silently starving."""
+        self._push_error(CodecMismatchError(
+            f"node {self.pid} is running wire codec {self.wire!r} but "
+            f"received an authenticated {other!r} frame from node {src}: "
+            "every node of a cluster must use the same wire format — set "
+            "the same 'codec' scenario field ('json' or 'binary') on "
+            "every node"
+        ))
+
+
+__all__ = [
+    "BINARY_MAGIC",
+    "MAX_FRAME",
+    "TcpTransport",
+    "WIRE_VERSION",
+    "encode_binary_frame",
+    "encode_json_frame",
+]

@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Any, Dict, Optional, Set, Tuple
 
 from ..errors import ReproError
 from ..types import ProcessId
-from . import codec
+from . import binarycodec, codec
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep the layer light
     from ..netem.clock import Clock
@@ -89,10 +89,23 @@ class InboxTransport(Transport):
     def _push_closed(self) -> None:
         self._inbox.put_nowait(_CLOSED)
 
+    def _push_error(self, exc: Exception) -> None:
+        """Queue an exception for delivery: the next ``recv`` raises it.
+
+        The channel for inbound-path failures that must fail the node
+        loudly (e.g. an authenticated frame in the wrong wire codec)
+        rather than being dropped like Byzantine garbage — the transport
+        runs on the event loop's reader tasks, so raising in place would
+        kill the wrong task.
+        """
+        self._inbox.put_nowait(exc)
+
     async def recv(self) -> Tuple[ProcessId, Any]:
         item = await self._inbox.get()
         if item is _CLOSED:
             raise TransportClosed(f"transport of node {self.pid} closed")
+        if isinstance(item, Exception):
+            raise item
         self.delivered += 1
         return item
 
@@ -141,13 +154,19 @@ class LocalHub:
         codec_check: bool = False,
         policy: Optional["LinkPolicy"] = None,
         clock: Optional["Clock"] = None,
+        wire: str = "json",
     ):
         if n < 1:
             raise ReproError(f"hub needs at least one node, got n={n}")
         if policy is not None and clock is None:
             raise ReproError("a hub with a link policy needs a clock")
+        if wire not in codec.WIRE_CODECS:
+            raise ReproError(
+                f"unknown wire codec {wire!r}; choose from {list(codec.WIRE_CODECS)}"
+            )
         self.n = n
         self.codec_check = codec_check
+        self.wire = wire
         self.policy = policy
         self.clock = clock
         self._endpoints: Dict[ProcessId, LocalTransport] = {}
@@ -166,7 +185,13 @@ class LocalHub:
         if not 0 <= dest < self.n:
             raise ReproError(f"send to unknown node {dest}")
         if self.codec_check:
-            payload = codec.loads(codec.dumps(payload))
+            # Round-trip through the selected wire format, so in-process
+            # runs surface serialization bugs of the same codec a TCP
+            # run would use.
+            if self.wire == "binary":
+                payload = binarycodec.loads(binarycodec.dumps(payload))
+            else:
+                payload = codec.loads(codec.dumps(payload))
         if self.policy is not None:
             verdict = self.policy.plan(source, dest, self.clock.now())
             if verdict.dropped:

@@ -355,6 +355,7 @@ def _run_runtime(
         allow_excess_faults=scenario.allow_excess_faults,
         netem=scenario.netem_config(),
         batching=scenario.batching,
+        codec=scenario.codec,
         observer=observer,
         recovery=scenario.recovery,
         profile=scenario.profile,

@@ -96,13 +96,20 @@ class Outbox:
     Appending is O(1); :meth:`drain` hands the whole batch to the driver
     and resets the buffer.  ``appended`` counts effects over the
     process's lifetime (cheap observability for tests and benchmarks).
+
+    The buffer list is recycled: a driver that finished iterating a
+    drained batch hands it back with :meth:`recycle`, and the next drain
+    swaps it in instead of allocating — the simulator's inner loop
+    drains one outbox per activation, so this removes a per-step list
+    allocation on the hottest path.
     """
 
-    __slots__ = ("_effects", "appended")
+    __slots__ = ("_effects", "appended", "_spare")
 
     def __init__(self) -> None:
         self._effects: List[Effect] = []
         self.appended = 0
+        self._spare: Optional[List[Effect]] = None
 
     def append(self, effect: Effect) -> None:
         self._effects.append(effect)
@@ -110,11 +117,29 @@ class Outbox:
 
     def drain(self) -> List[Effect]:
         """Return all buffered effects in issue order and clear the buffer."""
-        if not self._effects:
+        effects = self._effects
+        if not effects:
             return []
-        out = self._effects
-        self._effects = []
-        return out
+        spare = self._spare
+        if spare is not None:
+            self._spare = None
+            self._effects = spare
+        else:
+            self._effects = []
+        return effects
+
+    def recycle(self, batch: List[Effect]) -> None:
+        """Return a fully-consumed drained batch for reuse by drain.
+
+        Only call this with a list obtained from :meth:`drain` after the
+        last reference to its contents is gone — the list is cleared
+        here.  A second recycle while a spare is already parked is
+        dropped (reentrant flushes may race for the slot; losing the
+        race just costs one allocation).
+        """
+        if self._spare is None:
+            batch.clear()
+            self._spare = batch
 
     def __len__(self) -> int:
         return len(self._effects)

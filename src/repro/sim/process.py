@@ -204,15 +204,23 @@ class Process:
 
     def flush_outbox(self) -> None:
         """Apply all buffered effects against the network, in issue order."""
-        for effect in self.outbox.drain():
-            self._apply(effect)
+        outbox = self.outbox
+        batch = outbox.drain()
+        if not batch:
+            return
+        apply = self._apply
+        for effect in batch:
+            apply(effect)
+        outbox.recycle(batch)
 
     def _apply(self, effect: Effect) -> None:
         if type(effect) is Send:
             self.network.send(self.pid, effect.dest, effect.payload)
         elif type(effect) is Broadcast:
+            send = self.network.send
+            pid, payload = self.pid, effect.payload
             for dest in range(self.params.n):
-                self.network.send(self.pid, dest, effect.payload)
+                send(pid, dest, payload)
         elif type(effect) is Note:
             self.network.trace_note(self.pid, effect.detail)
         elif type(effect) is Decide:

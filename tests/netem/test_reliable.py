@@ -211,3 +211,103 @@ def test_malformed_wire_frames_are_rejected():
         LinkFrame(-1, "x")
     with pytest.raises(codec.CodecError):
         codec.decode({"__msg__": "LinkAck", "fields": {"seq": -3}})
+
+
+# -- the heapq timer wheel ----------------------------------------------------
+
+
+class _SilentTransport:
+    """An inner transport that swallows sends (nothing is ever acked)."""
+
+    pid = 0
+
+    def __init__(self):
+        self.sent = []
+
+    async def send(self, dest, payload):
+        self.sent.append((dest, payload))
+
+    async def recv(self):  # pragma: no cover - never polled here
+        await asyncio.Event().wait()
+
+
+def test_wheel_skips_acked_entries_lazily():
+    # An ack removes only the _pending entry; the stale heap record must
+    # be skipped on pop, not resent.
+    async def scenario():
+        clock = TickClock()
+        inner = _SilentTransport()
+        link = ReliableLink(inner, clock, rto=0.05)
+        for i in range(10):
+            await link.send(1, ("msg", i))
+        assert link.outstanding == 10
+        # Ack the even sequence numbers the way recv() does.
+        for seq in range(0, 10, 2):
+            link._pending.pop((1, seq))
+        resend = link._collect_due(clock.now() + 1.0)
+        assert [entry.frame.seq for _dest, entry in resend] == [1, 3, 5, 7, 9]
+        assert link.retransmitted == 5
+
+    run_async(scenario())
+
+
+def test_wheel_reschedules_with_capped_backoff():
+    async def scenario():
+        clock = TickClock()
+        inner = _SilentTransport()
+        link = ReliableLink(inner, clock, rto=0.05)
+        await link.send(1, "payload")
+        entry = link._pending[(1, 0)]
+        # Never acked: each sweep resends once and doubles the due gap,
+        # capped at 8x rto after the third retry.
+        now, gaps = 0.0, []
+        for _ in range(6):
+            now = entry.due
+            assert len(link._collect_due(now)) == 1
+            gaps.append(round(entry.due - now, 6))
+        assert gaps == [0.1, 0.2, 0.4, 0.4, 0.4, 0.4]
+        assert link.retransmitted == 6
+
+    run_async(scenario())
+
+
+def test_wheel_pauses_severed_links_without_charging_retries():
+    async def scenario():
+        clock = TickClock()
+        inner = _SilentTransport()
+        severed = {"now": True}
+        link = ReliableLink(
+            inner, clock, rto=0.05, max_retries=3,
+            severed=lambda dest, now: severed["now"],
+        )
+        await link.send(1, "payload")
+        entry = link._pending[(1, 0)]
+        # While severed: rescheduled, never charged, never collected.
+        for sweep in range(5):
+            assert link._collect_due(entry.due) == []
+        assert entry.retries == 0 and link.retransmitted == 0
+        assert link.outstanding == 1
+        # Healed: resends resume and the full retry budget remains.
+        severed["now"] = False
+        assert len(link._collect_due(entry.due)) == 1
+        assert entry.retries == 1
+
+    run_async(scenario())
+
+
+def test_wheel_abandons_at_the_retry_budget():
+    async def scenario():
+        clock = TickClock()
+        inner = _SilentTransport()
+        link = ReliableLink(inner, clock, rto=0.05, max_retries=2)
+        await link.send(1, "payload")
+        entry = link._pending[(1, 0)]
+        assert len(link._collect_due(entry.due)) == 1  # retry 1
+        assert len(link._collect_due(entry.due)) == 1  # retry 2
+        assert link._collect_due(entry.due) == []      # budget spent: dropped
+        assert link.outstanding == 0
+        assert link.abandoned == 1
+        # The wheel is empty too: nothing left to pop, ever.
+        assert link._heap == []
+
+    run_async(scenario())

@@ -317,3 +317,141 @@ def test_oversized_frame_drops_the_connection():
             await b.close()
 
     asyncio.run(scenario())
+
+
+# -- the binary wire path -----------------------------------------------------
+
+
+def _binary_pair(ring=None):
+    ring = ring or KeyRing(2, master_secret=b"test-setup")
+    return (TcpTransport(0, 2, ring, wire="binary"),
+            TcpTransport(1, 2, ring, wire="binary"))
+
+
+def test_binary_wire_round_trip_between_peers():
+    async def scenario():
+        a, b = _binary_pair()
+        await a.start()
+        await b.start()
+        peers = {0: a.address, 1: b.address}
+        a.set_peers(peers)
+        b.set_peers(peers)
+        try:
+            payload = ("mod", StepValue(1, decide=True))
+            await a.send(1, payload)
+            sender, received = await asyncio.wait_for(b.recv(), 5.0)
+            assert (sender, received) == (0, payload)
+            assert b.rejected == 0
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(scenario())
+
+
+def test_mixed_codec_peers_fail_loudly():
+    # An *authenticated* frame in the other wire format is a deployment
+    # error, not Byzantine garbage: the receiving node's recv() must
+    # raise a named error that points at the scenario field to fix.
+    from repro.runtime.codec import CodecMismatchError
+
+    async def scenario():
+        ring = KeyRing(2, master_secret=b"test-setup")
+        a = TcpTransport(0, 2, ring, wire="json")
+        b = TcpTransport(1, 2, ring, wire="binary")
+        await a.start()
+        await b.start()
+        peers = {0: a.address, 1: b.address}
+        a.set_peers(peers)
+        b.set_peers(peers)
+        try:
+            await a.send(1, ("mod", StepValue(1)))
+            with pytest.raises(CodecMismatchError, match="codec"):
+                await asyncio.wait_for(b.recv(), 5.0)
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(scenario())
+
+
+def test_binary_garbage_frames_never_kill_the_serve_task():
+    # The binary-codec arm of the garbage-fuzz corpus: truncated
+    # headers, bad version bytes, over-length varints, and flipped MACs
+    # must each be counted and dropped — the decoder raises CodecError
+    # inside the transport, never out of the node loop.
+    import random
+
+    from repro.runtime import binarycodec
+    from repro.runtime.tcp import (
+        _BIN_HEADER, _MAC_LEN, BINARY_MAGIC, WIRE_VERSION,
+        encode_binary_frame,
+    )
+
+    rng = random.Random(0xB1B1)
+
+    def fuzz_frames(a):
+        good = encode_binary_frame(a._auth, 1, ("mod", StepValue(1)))
+        corpus = []
+        # 1. truncated headers: cut inside the fixed header + MAC region
+        for cut in (1, 2, _BIN_HEADER.size - 1, _BIN_HEADER.size,
+                    _BIN_HEADER.size + _MAC_LEN - 1,
+                    _BIN_HEADER.size + _MAC_LEN):
+            corpus.append(good[:cut])
+        # 2. bad wire-format version byte
+        for version in (0, WIRE_VERSION + 1, 0xFF):
+            corpus.append(bytes([good[0], version]) + good[2:])
+        # 3. out-of-range src / dst in the header
+        corpus.append(_BIN_HEADER.pack(BINARY_MAGIC, WIRE_VERSION, 99, 1)
+                      + good[_BIN_HEADER.size:])
+        corpus.append(_BIN_HEADER.pack(BINARY_MAGIC, WIRE_VERSION, 0, 99)
+                      + good[_BIN_HEADER.size:])
+        # 4. authenticated bodies that fail the decoder: an over-length
+        #    varint and a container bomb, each with a *valid* MAC so the
+        #    decode path itself is what rejects them
+        bad_bodies = [bytes([binarycodec._T_STR]) + b"\xff" * 11]
+        bomb = bytearray([binarycodec._T_TUPLE])
+        binarycodec._pack_varint(bomb, 1 << 20)
+        bad_bodies.append(bytes(bomb) + b"\x00")
+        for body in bad_bodies:
+            corpus.append(
+                _BIN_HEADER.pack(BINARY_MAGIC, WIRE_VERSION, 0, 1)
+                + a._auth.tag_bytes(1, body) + body
+            )
+        # 5. flipped MAC bits on an otherwise-genuine frame
+        for _ in range(10):
+            i = _BIN_HEADER.size + rng.randrange(_MAC_LEN)
+            corpus.append(good[:i] + bytes([good[i] ^ 0x01]) + good[i + 1:])
+        # 6. random garbage opening with the binary magic byte
+        for _ in range(10):
+            corpus.append(bytes([BINARY_MAGIC])
+                          + rng.randbytes(rng.randrange(1, 120)))
+        rng.shuffle(corpus)
+        return corpus
+
+    async def scenario():
+        a, b = _binary_pair()
+        await a.start()
+        await b.start()
+        peers = {0: a.address, 1: b.address}
+        a.set_peers(peers)
+        b.set_peers(peers)
+        try:
+            corpus = fuzz_frames(a)
+            reader, writer = await asyncio.open_connection(*b.address)
+            for raw in corpus:
+                writer.write(struct.pack(">I", len(raw)) + raw)
+            await writer.drain()
+            await _wait_for(lambda: b.rejected >= len(corpus))
+            assert b.accepted == 0
+            # The endpoint survived every frame: authentic traffic flows.
+            await a.send(1, ("mod", StepValue(1)))
+            sender, payload = await asyncio.wait_for(b.recv(), 5.0)
+            assert (sender, payload) == (0, ("mod", StepValue(1)))
+            assert b.rejected == len(corpus)
+            writer.close()
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(scenario())

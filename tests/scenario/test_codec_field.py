@@ -1,0 +1,82 @@
+"""The ``codec`` scenario field: validation, round-trip, decide parity.
+
+The field selects the wire format of the runtime fabrics (tagged JSON
+or the compact binary codec) and must flow spec → JSON → spec exactly
+like every other field.  The parity tests are the acceptance bar of the
+fast wire path: for a fixed seed, every protocol must decide the same
+values whichever codec carries its messages, on every fabric — the
+codec changes the bytes on the wire, never the protocol's behavior.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.scenario import Scenario, run
+from repro.stacks import PROTOCOLS
+
+FABRICS = ["sim", "local", "tcp"]
+
+
+# -- field validation and round-trip -----------------------------------------
+
+
+def test_codec_defaults_to_json():
+    scenario = Scenario(protocol="bracha", n=4, proposals=1)
+    assert scenario.codec == "json"
+
+
+def test_unknown_codec_is_rejected_with_the_choices():
+    with pytest.raises(ConfigError, match="codec.*json.*binary"):
+        Scenario(protocol="bracha", n=4, proposals=1, codec="msgpack")
+
+
+def test_codec_round_trips_through_json():
+    binary = Scenario(protocol="bracha", n=4, proposals=1, codec="binary")
+    document = binary.to_dict()
+    assert document["codec"] == "binary"
+    assert Scenario.from_dict(document) == binary
+    # The default is omitted from the document, like every default.
+    default = Scenario(protocol="bracha", n=4, proposals=1)
+    assert "codec" not in default.to_dict()
+    assert Scenario.from_dict(default.to_dict()).codec == "json"
+
+
+def test_from_dict_rejects_an_unknown_codec():
+    document = Scenario(protocol="bracha", n=4, proposals=1).to_dict()
+    document["codec"] = "protobuf"
+    with pytest.raises(ConfigError, match="codec"):
+        Scenario.from_dict(document)
+
+
+# -- decide-stream parity, json vs binary ------------------------------------
+
+
+def _scenario(protocol, fabric, codec, seed=11):
+    return Scenario(
+        protocol=protocol,
+        n=4,
+        proposals=None if protocol == "acs" else 1,
+        fabric=fabric,
+        codec=codec,
+        seed=seed,
+        timeout=60.0,
+    )
+
+
+@pytest.mark.parametrize("fabric", FABRICS)
+@pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
+def test_decide_parity_json_vs_binary(protocol, fabric):
+    json_result = run(_scenario(protocol, fabric, "json"))
+    binary_result = run(_scenario(protocol, fabric, "binary"))
+    for result in (json_result, binary_result):
+        assert len(result.decisions) == 4, "every node decides"
+        assert len(result.decided_values) == 1, "agreement"
+    if protocol != "acs":
+        # Unanimity pins the outcome through strong validity, so the
+        # decided value is codec- and scheduling-independent.
+        assert json_result.decided_values == binary_result.decided_values == {1}
+
+
+def test_binary_codec_run_reports_its_codec():
+    result = run(_scenario("bracha", "local", "binary"))
+    assert result.meta.get("codec") == "binary"
